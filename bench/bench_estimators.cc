@@ -1,0 +1,78 @@
+// Estimator-accuracy ablation (supports the paper's Section 4.2 estimator
+// survey): relative error of the estimated sparsity of A^T A as skew
+// grows, for the metadata, sampling, and MNC estimators against the exact
+// pattern oracle — plus the wall time each estimator spends per estimate.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "matrix/kernels.h"
+#include "sparsity/estimator.h"
+
+using namespace remac;
+using namespace remac::bench;
+
+namespace {
+
+struct Row {
+  double truth = 0.0;
+  double estimate = 0.0;
+  double micros = 0.0;
+};
+
+Row Estimate(const SparsityEstimator& estimator, const MatrixStats& stats,
+             double truth) {
+  Row row;
+  row.truth = truth;
+  const auto start = std::chrono::steady_clock::now();
+  const NodeStats leaf = estimator.LeafStats("a", stats);
+  const NodeStats product =
+      estimator.Multiply(estimator.Transpose(leaf), leaf);
+  row.micros = std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+  row.estimate = product.sparsity;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Estimator ablation",
+         "sp(A^T A) estimation error and cost vs skew (Section 4.2)");
+  std::printf("%-10s %10s |", "dataset", "true sp");
+  for (const char* name : {"MD", "Sample", "MNC"}) {
+    std::printf(" %8s-err %8s-us |", name, name);
+  }
+  std::printf("\n");
+  const MetadataEstimator md;
+  const SamplingEstimator sampling(64);
+  const MncEstimator mnc;
+  for (double e : {0.0, 0.7, 1.4, 2.1, 2.8}) {
+    const std::string name = StringFormat("zipf-%.1f", e);
+    if (!EnsureDataset(name).ok()) continue;
+    const Matrix a = SharedCatalog().Value(name).value();
+    const MatrixStats stats = SharedCatalog().Stats(name).value();
+    const Matrix at = Transpose(a);
+    const double truth =
+        static_cast<double>(MultiplyNnzExact(at, a).value()) /
+        (static_cast<double>(a.cols()) * static_cast<double>(a.cols()));
+    std::printf("%-10s %10.4f |", name.c_str(), truth);
+    for (const SparsityEstimator* estimator :
+         {static_cast<const SparsityEstimator*>(&md),
+          static_cast<const SparsityEstimator*>(&sampling),
+          static_cast<const SparsityEstimator*>(&mnc)}) {
+      const Row row = Estimate(*estimator, stats, truth);
+      std::printf(" %12.4f %11.1f |", std::fabs(row.estimate - truth),
+                  row.micros);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected shape: MD error grows with skew (uniform assumption);\n"
+      "MNC stays accurate at higher estimation cost; Sampling sits in\n"
+      "between. This is why ReMac defaults to MNC (paper Section 6.3.2).\n");
+  return 0;
+}

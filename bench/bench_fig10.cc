@@ -1,0 +1,91 @@
+// Figure 10: adaptive elimination with different combination methods and
+// sparsity estimators — DP vs brute-force enumeration (Enum), each with
+// the metadata-based (MD) and MNC estimators. (a) compilation time to
+// generate the efficient plan; (b) elapsed time (compilation+execution).
+// The paper's finding: DP avoids the combinatorial explosion (Enum takes
+// over three days on GNMF); MD compiles faster but can mislead the
+// optimizer into suboptimal plans that MNC avoids.
+
+#include <cstdio>
+#include <vector>
+
+#include "algorithms/scripts.h"
+#include "bench/harness.h"
+
+using namespace remac;
+using namespace remac::bench;
+
+namespace {
+
+struct Arm {
+  const char* label;
+  CombinerKind combiner;
+  EstimatorKind estimator;
+};
+
+constexpr Arm kArms[] = {
+    {"DP-MD", CombinerKind::kDp, EstimatorKind::kMetadata},
+    {"DP-MNC", CombinerKind::kDp, EstimatorKind::kMnc},
+    {"Enum-MD", CombinerKind::kEnumDepthFirst, EstimatorKind::kMetadata},
+    {"Enum-MNC", CombinerKind::kEnumDepthFirst, EstimatorKind::kMnc},
+};
+
+void Sweep(const char* algo, const std::vector<std::string>& datasets,
+           int iterations, int64_t enum_budget,
+           std::string (*script)(const std::string&, int)) {
+  std::printf("\n--- %s ---\n", algo);
+  std::printf("%-8s", "dataset");
+  for (const Arm& arm : kArms) {
+    std::printf(" | %11s %11s", arm.label, "");
+  }
+  std::printf("\n%-8s", "");
+  for (size_t i = 0; i < std::size(kArms); ++i) {
+    std::printf(" | %11s %11s", "compile", "elapsed");
+  }
+  std::printf("\n");
+  for (const std::string& ds : datasets) {
+    if (!EnsureDataset(ds).ok()) continue;
+    std::printf("%-8s", ds.c_str());
+    for (const Arm& arm : kArms) {
+      RunConfig config;
+      config.optimizer = OptimizerKind::kRemacAdaptive;
+      config.combiner = arm.combiner;
+      config.estimator = arm.estimator;
+      config.enum_budget = enum_budget;
+      auto m = MeasureScript(script(ds, iterations), config, iterations);
+      if (m.ok()) {
+        std::printf(" | %11s %11s", Fmt(m->compile_wall_seconds).c_str(),
+                    Fmt(m->elapsed_seconds).c_str());
+      } else {
+        std::printf(" | %11s %11s", "ERROR", "");
+      }
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  Banner("Figure 10",
+         "adaptive elimination: DP vs Enum, MD vs MNC estimators");
+  const std::vector<std::string> datasets =
+      quick ? std::vector<std::string>{"cri2"}
+            : std::vector<std::string>{"cri1", "cri2", "cri3",
+                                       "red1", "red2", "red3"};
+  const int iterations = 100;
+  // Enum's evaluation budget: large enough to dominate DP's cost by an
+  // order of magnitude (the paper's Enum runs minutes to days; exhausting
+  // the full subset lattice here would be equally unbounded).
+  const int64_t enum_budget = quick ? 500 : 1500;
+  Sweep("DFP", datasets, iterations, enum_budget, &DfpScript);
+  Sweep("BFGS", datasets, iterations, enum_budget, &BfgsScript);
+  Sweep("GD", datasets, iterations, enum_budget, &GdScript);
+  std::printf(
+      "\nGNMF note (paper Section 6.3.3): Enum took over three days on\n"
+      "GNMF while DP finished in <150s; here Enum is budget-capped, so it\n"
+      "additionally risks *missing* the best combination.\n");
+  return 0;
+}

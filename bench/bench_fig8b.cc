@@ -1,0 +1,79 @@
+// Figure 8(b): execution time (other than compilation) of SystemDS*
+// (CSE disabled), SystemDS, automatic elimination, and SPORES, for DFP,
+// BFGS, GD and partial DFP across the six datasets. The paper's finding:
+// automatic elimination wins big on the tall datasets (cri1/red1) but can
+// be many times slower on the fat ones (cri3/red3) — blind application of
+// implicit CSE/LSE cuts both ways.
+
+#include <cstdio>
+#include <vector>
+
+#include "algorithms/scripts.h"
+#include "bench/harness.h"
+
+using namespace remac;
+using namespace remac::bench;
+
+namespace {
+
+constexpr OptimizerKind kArms[] = {
+    OptimizerKind::kSystemDsNoCse,
+    OptimizerKind::kSystemDs,
+    OptimizerKind::kRemacAutomatic,
+    OptimizerKind::kSpores,
+};
+
+void Sweep(const char* algo,
+           const std::vector<std::string>& datasets, int iterations,
+           std::string (*script)(const std::string&, int)) {
+  // SPORES cannot run DFP/BFGS/GD entirely (paper Section 6.2.1); its
+  // column is only populated for partial DFP.
+  const bool spores_supported = std::string(algo) == "partial DFP";
+  std::printf("\n--- %s ---\n", algo);
+  std::printf("%-8s", "dataset");
+  for (OptimizerKind kind : kArms) std::printf(" %13s", OptimizerKindName(kind));
+  std::printf("\n");
+  for (const std::string& ds : datasets) {
+    if (!EnsureDataset(ds, true).ok()) continue;
+    std::printf("%-8s", ds.c_str());
+    for (OptimizerKind kind : kArms) {
+      if (kind == OptimizerKind::kSpores && !spores_supported) {
+        std::printf(" %13s", "n/s");
+        continue;
+      }
+      RunConfig config;
+      config.optimizer = kind;
+      auto m = MeasureScript(script(ds, iterations), config, iterations);
+      std::printf(" %13s", m.ok() ? Fmt(m->execution_seconds).c_str()
+                                  : "ERROR");
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+}
+
+std::string PartialDfpWrapper(const std::string& ds, int iterations) {
+  (void)iterations;
+  return PartialDfpScript(ds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  Banner("Figure 8(b)", "execution time under automatic elimination");
+  const std::vector<std::string> datasets =
+      quick ? std::vector<std::string>{"cri1", "cri2"}
+            : std::vector<std::string>{"cri1", "cri2", "cri3",
+                                       "red1", "red2", "red3"};
+  const int iterations = 100;
+  Sweep("DFP", datasets, iterations, &DfpScript);
+  Sweep("BFGS", datasets, iterations, &BfgsScript);
+  Sweep("GD", datasets, iterations, &GdScript);
+  Sweep("partial DFP", datasets, iterations, &PartialDfpWrapper);
+  std::printf(
+      "\nExpected shape (paper): 'automatic' far ahead of SystemDS on\n"
+      "cri1/red1, but slower than SystemDS on the fat datasets cri3/red3;\n"
+      "SPORES close to SystemDS (its sampling misses long-chain CSE).\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+#ifndef REMAC_BENCH_HARNESS_H_
+#define REMAC_BENCH_HARNESS_H_
+
+// Shared helpers for the per-figure benchmark binaries. Each binary
+// regenerates the rows/series of one table or figure of the paper; see
+// EXPERIMENTS.md for the paper-vs-measured index.
+
+#include <cstdio>
+#include <string>
+
+#include "common/string_util.h"
+#include "data/generators.h"
+#include "runtime/program_runner.h"
+
+namespace remac {
+namespace bench {
+
+/// Process-wide catalog with lazily generated datasets.
+inline DataCatalog& SharedCatalog() {
+  static DataCatalog* catalog = new DataCatalog();
+  return *catalog;
+}
+
+/// Ensures a paper dataset ("cri2") or a zipf dataset ("zipf-1.4") exists
+/// in the shared catalog.
+inline Status EnsureDataset(const std::string& name,
+                            bool with_partial_dfp_inputs = false) {
+  DataCatalog& catalog = SharedCatalog();
+  if (catalog.Contains(name)) return Status::OK();
+  DatasetSpec spec;
+  if (StartsWith(name, "zipf-")) {
+    spec = ZipfSpec(std::stod(name.substr(5)));
+  } else {
+    auto paper = PaperDatasetSpec(name);
+    if (!paper.ok()) return paper.status();
+    spec = paper.value();
+  }
+  std::fprintf(stderr, "[data] generating %s (%lld x %lld, sp=%g)...\n",
+               name.c_str(), static_cast<long long>(spec.rows),
+               static_cast<long long>(spec.cols), spec.sparsity);
+  return RegisterDataset(&catalog, spec, with_partial_dfp_inputs);
+}
+
+/// One measured configuration, extrapolated to the full horizon.
+struct Measurement {
+  double compile_wall_seconds = 0.0;
+  /// Simulated execution time over `iterations` loop iterations
+  /// (excludes compile; includes input partition when configured).
+  double execution_seconds = 0.0;
+  /// Execution + compile (the paper's "elapsed time").
+  double elapsed_seconds = 0.0;
+  TimeBreakdown breakdown;  // extrapolated
+  OptimizeReport optimize;
+};
+
+/// Runs the script executing only 1 and 2 real loop iterations, then
+/// extrapolates the simulated loop time linearly to `iterations`
+/// (T(N) = T(1) + (N-1) * (T(2) - T(1))). The optimizer always amortizes
+/// LSE over the full horizon. This keeps the wall-clock cost of the
+/// harness bounded while reporting the full-horizon simulated time; see
+/// DESIGN.md ("Simulated time vs wall time").
+inline Result<Measurement> MeasureScript(const std::string& script,
+                                         RunConfig config, int iterations) {
+  config.max_iterations = iterations;
+  Measurement m;
+  config.executed_iterations = 1;
+  REMAC_ASSIGN_OR_RETURN(const RunReport one,
+                         RunScript(script, SharedCatalog(), config));
+  config.executed_iterations = 2;
+  REMAC_ASSIGN_OR_RETURN(const RunReport two,
+                         RunScript(script, SharedCatalog(), config));
+  m.compile_wall_seconds = one.compile_wall_seconds;
+  m.optimize = one.optimize;
+  const double n = static_cast<double>(iterations);
+  auto extrapolate = [n](double t1, double t2) {
+    const double per_iteration = std::max(0.0, t2 - t1);
+    return t1 + (n - 1.0) * per_iteration;
+  };
+  m.breakdown.input_partition_seconds =
+      one.breakdown.input_partition_seconds;
+  m.breakdown.compilation_seconds = one.breakdown.compilation_seconds;
+  m.breakdown.computation_seconds =
+      extrapolate(one.breakdown.computation_seconds,
+                  two.breakdown.computation_seconds);
+  m.breakdown.transmission_seconds =
+      extrapolate(one.breakdown.transmission_seconds,
+                  two.breakdown.transmission_seconds);
+  m.execution_seconds = m.breakdown.computation_seconds +
+                        m.breakdown.transmission_seconds +
+                        m.breakdown.input_partition_seconds;
+  m.elapsed_seconds = m.execution_seconds + m.compile_wall_seconds;
+  return m;
+}
+
+/// Formats a duration for the result tables.
+inline std::string Fmt(double seconds) { return HumanSeconds(seconds); }
+
+/// Prints a standard figure header.
+inline void Banner(const char* figure, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("(simulated cluster time; see DESIGN.md for the substitution\n");
+  std::printf(" of the paper's 7-node Spark testbed)\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace remac
+
+#endif  // REMAC_BENCH_HARNESS_H_

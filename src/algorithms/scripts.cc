@@ -1,0 +1,119 @@
+#include "algorithms/scripts.h"
+
+#include "common/string_util.h"
+
+namespace remac {
+
+std::string GdScript(const std::string& ds, int iterations) {
+  return StringFormat(R"(
+A = read("%s");
+b = read("%s_b");
+x = zeros(ncol(A), 1);
+alpha = 0.000001;
+i = 0;
+while (i < %d) {
+  g = t(A) %%*%% (A %%*%% x) - t(A) %%*%% b;
+  x = x - alpha * g;
+  i = i + 1;
+}
+)",
+                      ds.c_str(), ds.c_str(), iterations);
+}
+
+std::string DfpScript(const std::string& ds, int iterations) {
+  return StringFormat(R"(
+A = read("%s");
+b = read("%s_b");
+x = zeros(ncol(A), 1);
+H = eye(ncol(A));
+i = 0;
+while (i < %d) {
+  g = t(A) %%*%% (A %%*%% x - b);
+  d = -(H %%*%% g);
+  H = H - (H %%*%% t(A) %%*%% A %%*%% d %%*%% t(d) %%*%% t(A) %%*%% A %%*%% H) / (t(d) %%*%% t(A) %%*%% A %%*%% H %%*%% t(A) %%*%% A %%*%% d) + (d %%*%% t(d)) / (2 * (t(d) %%*%% t(A) %%*%% A %%*%% d));
+  x = x + 0.5 * d;
+  i = i + 1;
+}
+)",
+                      ds.c_str(), ds.c_str(), iterations);
+}
+
+std::string BfgsScript(const std::string& ds, int iterations) {
+  return StringFormat(R"(
+A = read("%s");
+b = read("%s_b");
+x = zeros(ncol(A), 1);
+H = eye(ncol(A));
+i = 0;
+while (i < %d) {
+  g = t(A) %%*%% (A %%*%% x - b);
+  d = -(H %%*%% g);
+  sy = t(d) %%*%% t(A) %%*%% (A %%*%% d);
+  H = H - (d %%*%% t(d) %%*%% t(A) %%*%% A %%*%% H) / sy - (H %%*%% t(A) %%*%% A %%*%% d %%*%% t(d)) / sy + (t(d) %%*%% t(A) %%*%% A %%*%% H %%*%% t(A) %%*%% A %%*%% d) * (d %%*%% t(d)) / (sy * sy) + (d %%*%% t(d)) / sy;
+  x = x + 0.5 * d;
+  i = i + 1;
+}
+)",
+                      ds.c_str(), ds.c_str(), iterations);
+}
+
+std::string GnmfScript(const std::string& ds, int rank, int iterations) {
+  return StringFormat(R"(
+V = read("%s");
+W = rand(nrow(V), %d);
+H = rand(%d, ncol(V));
+i = 0;
+while (i < %d) {
+  H = H * (t(W) %%*%% V) / (t(W) %%*%% W %%*%% H);
+  W = W * (V %%*%% t(H)) / (W %%*%% H %%*%% t(H));
+  i = i + 1;
+}
+)",
+                      ds.c_str(), rank, rank, iterations);
+}
+
+std::string LogisticRegressionScript(const std::string& ds, int iterations) {
+  return StringFormat(R"(
+A = read("%s");
+y = read("%s_b");
+x = zeros(ncol(A), 1);
+alpha = 0.0001;
+i = 0;
+while (i < %d) {
+  p = 1 / (1 + exp(-(A %%*%% x)));
+  g = t(A) %%*%% (p - y);
+  x = x - alpha * g;
+  i = i + 1;
+}
+)",
+                      ds.c_str(), ds.c_str(), iterations);
+}
+
+std::string RidgeRegressionScript(const std::string& ds, int iterations,
+                                  double lambda) {
+  return StringFormat(R"(
+A = read("%s");
+b = read("%s_b");
+x = zeros(ncol(A), 1);
+alpha = 0.000001;
+i = 0;
+while (i < %d) {
+  g = t(A) %%*%% (A %%*%% x) - t(A) %%*%% b + %g * x;
+  x = x - alpha * g;
+  i = i + 1;
+}
+)",
+                      ds.c_str(), ds.c_str(), iterations, lambda);
+}
+
+std::string PartialDfpScript(const std::string& ds) {
+  return StringFormat(R"(
+A = read("%s");
+d = read("%s_pd");
+H = read("%s_pH");
+val = t(d) %%*%% t(A) %%*%% A %%*%% H %%*%% t(A) %%*%% A %%*%% d;
+)",
+                      ds.c_str(), ds.c_str(), ds.c_str());
+}
+
+}  // namespace remac

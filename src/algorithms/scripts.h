@@ -1,0 +1,46 @@
+#ifndef REMAC_ALGORITHMS_SCRIPTS_H_
+#define REMAC_ALGORITHMS_SCRIPTS_H_
+
+#include <string>
+
+namespace remac {
+
+/// Script builders for the paper's evaluation algorithms (Section 6.1).
+/// Each expects the catalog to hold dataset `ds` and its label vector
+/// `<ds>_b` (see RegisterDataset in data/generators.h).
+
+/// Gradient descent for least squares. Contains loop-constant
+/// subexpressions (t(A) %*% b and the implicit t(A) %*% A) but no CSE.
+std::string GdScript(const std::string& ds, int iterations);
+
+/// Davidon-Fletcher-Powell (paper Equations 1-2). Rich in both implicit
+/// CSE (A %*% d, d^T A^T A, H %*% g, d d^T, ...) and LSE (A^T A).
+std::string DfpScript(const std::string& ds, int iterations);
+
+/// Broyden-Fletcher-Goldfarb-Shanno in expanded form; like DFP it mixes
+/// common and loop-constant subexpressions across five additive terms.
+std::string BfgsScript(const std::string& ds, int iterations);
+
+/// Gaussian non-negative matrix factorization with multiplicative
+/// updates; long multiplication chains, no loop-constant subexpressions.
+std::string GnmfScript(const std::string& ds, int rank, int iterations);
+
+/// Logistic regression via gradient descent: exercises the element-wise
+/// exp() path (sigmoid written as 1 / (1 + exp(-Ax))). The loop-constant
+/// A^T does not hoist as a whole, but A^T-involving chains still expose
+/// CSE to the optimizer.
+std::string LogisticRegressionScript(const std::string& ds, int iterations);
+
+/// Ridge regression (L2-regularized least squares) via gradient descent:
+/// g = A^T A x - A^T b + lambda x. Like GD it is LSE-rich (A^T A, A^T b).
+std::string RidgeRegressionScript(const std::string& ds, int iterations,
+                                  double lambda = 0.1);
+
+/// The longest DFP subexpression SPORES supports (paper Section 6.2.1):
+/// d^T A^T A H A^T A d as a straight-line program. Requires auxiliary
+/// datasets `<ds>_pd` (n x 1) and `<ds>_pH` (n x n).
+std::string PartialDfpScript(const std::string& ds);
+
+}  // namespace remac
+
+#endif  // REMAC_ALGORITHMS_SCRIPTS_H_

@@ -1,0 +1,38 @@
+#include "baselines/engine_modes.h"
+
+namespace remac {
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSystemDsLike:
+      return "systemds";
+    case EngineKind::kPbdR:
+      return "pbdR";
+    case EngineKind::kSciDb:
+      return "SciDB";
+  }
+  return "?";
+}
+
+EngineTraits TraitsFor(EngineKind kind) {
+  EngineTraits traits;
+  switch (kind) {
+    case EngineKind::kSystemDsLike:
+      break;
+    case EngineKind::kPbdR:
+      traits.force_dense = true;
+      traits.force_distributed = true;
+      // Sequential (single-channel) distribution of the input matrix.
+      traits.input_partition_factor = 8.0;
+      break;
+    case EngineKind::kSciDb:
+      traits.force_dense = true;
+      traits.force_distributed = true;
+      // Load plus a redimension pass over the data.
+      traits.input_partition_factor = 12.0;
+      break;
+  }
+  return traits;
+}
+
+}  // namespace remac

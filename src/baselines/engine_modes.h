@@ -1,0 +1,29 @@
+#ifndef REMAC_BASELINES_ENGINE_MODES_H_
+#define REMAC_BASELINES_ENGINE_MODES_H_
+
+#include "runtime/executor.h"
+
+namespace remac {
+
+/// Engine personalities of the comparator systems (paper Section 6.4).
+enum class EngineKind {
+  kSystemDsLike,  // dynamic local/distributed switch, sparse support
+  kPbdR,          // ScaLAPACK-based: dense-only, always distributed
+  kSciDb,         // array DB: always distributed, costly redimension load
+};
+
+const char* EngineKindName(EngineKind kind);
+
+/// Personality knobs of each engine:
+/// - pbdR treats sparse matrices as dense and keeps running in
+///   distributed mode; its input distribution is sequential (paper
+///   Section 6.5: "hours for input partition").
+/// - SciDB keeps running in distributed mode and pays a redimension
+///   pass to build (dense) arrays on load.
+/// - The SystemDS-like engine switches between local and distributed
+///   execution and handles sparse matrices natively.
+EngineTraits TraitsFor(EngineKind kind);
+
+}  // namespace remac
+
+#endif  // REMAC_BASELINES_ENGINE_MODES_H_

@@ -1,0 +1,24 @@
+#include "baselines/spores_optimizer.h"
+
+namespace remac {
+
+Result<CompiledProgram> SporesOptimize(const CompiledProgram& program,
+                                       const ClusterModel& cluster,
+                                       const SparsityEstimator* estimator,
+                                       const DataCatalog* catalog,
+                                       const SporesConfig& config,
+                                       OptimizeReport* report) {
+  OptimizerConfig opt_config;
+  opt_config.search = SearchMethod::kSampled;
+  opt_config.sampled_max_window = config.max_window;
+  opt_config.sampled_max_samples = config.max_samples;
+  // SPORES extracts the cheapest plan from its saturated e-graph, so the
+  // CSE it applies never worsens the plan; within our framework that is
+  // cost-guided selection over the *sampled* option set. It finds no LSE
+  // (the sampled search emits none) and misses long-chain CSE entirely.
+  opt_config.strategy = EliminationStrategy::kAdaptive;
+  ReMacOptimizer optimizer(cluster, estimator, catalog, opt_config);
+  return optimizer.Optimize(program, report);
+}
+
+}  // namespace remac

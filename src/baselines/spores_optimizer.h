@@ -1,0 +1,33 @@
+#ifndef REMAC_BASELINES_SPORES_OPTIMIZER_H_
+#define REMAC_BASELINES_SPORES_OPTIMIZER_H_
+
+#include "cluster/cluster_model.h"
+#include "common/status.h"
+#include "core/adaptive_optimizer.h"
+#include "plan/plan_builder.h"
+#include "sparsity/estimator.h"
+
+namespace remac {
+
+struct SporesConfig {
+  /// SPORES handles long multiplication chains by sampling rewrites;
+  /// these bounds cap the windows it explores per chain.
+  int max_window = 3;
+  int max_samples = 24;
+};
+
+/// \brief A SPORES-like optimizer (Wang et al., VLDB'20): relational-
+/// equality-saturation-style CSE discovery, emulated by a sampled subset
+/// of the rewrite space. Finds implicit CSE within its sample but no
+/// loop-constant elimination, and misses CSE on long multiplication
+/// chains — the behaviour Figures 8(a)/8(b) report.
+Result<CompiledProgram> SporesOptimize(const CompiledProgram& program,
+                                       const ClusterModel& cluster,
+                                       const SparsityEstimator* estimator,
+                                       const DataCatalog* catalog,
+                                       const SporesConfig& config = {},
+                                       OptimizeReport* report = nullptr);
+
+}  // namespace remac
+
+#endif  // REMAC_BASELINES_SPORES_OPTIMIZER_H_

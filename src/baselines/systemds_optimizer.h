@@ -1,0 +1,37 @@
+#ifndef REMAC_BASELINES_SYSTEMDS_OPTIMIZER_H_
+#define REMAC_BASELINES_SYSTEMDS_OPTIMIZER_H_
+
+#include "cluster/cluster_model.h"
+#include "common/status.h"
+#include "plan/plan_builder.h"
+#include "sparsity/estimator.h"
+
+namespace remac {
+
+struct SystemDsConfig {
+  /// Explicit common-subexpression elimination on identical subtrees
+  /// (disable to obtain the paper's SystemDS* baseline).
+  bool explicit_cse = true;
+  /// Matrix-multiplication-chain reordering (SystemDS's mmchain
+  /// optimization); operates per statement with the metadata estimator.
+  bool chain_reordering = true;
+  /// Wall-clock compile time is reported through this pointer when set.
+  double* compile_seconds = nullptr;
+};
+
+/// \brief A SystemDS-like plan compiler: per-statement multiplication
+/// chain reordering plus *explicit* CSE only — identical subtrees within
+/// the loop body are computed once per iteration (paper Sections 1-2:
+/// SystemDS applies explicit CSE but is oblivious to implicit CSE/LSE).
+///
+/// Used as the baseline in every experiment; with explicit_cse=false it
+/// is the SystemDS* configuration of Figure 8(b).
+Result<CompiledProgram> SystemDsOptimize(const CompiledProgram& program,
+                                         const ClusterModel& cluster,
+                                         const SparsityEstimator* estimator,
+                                         const DataCatalog* catalog,
+                                         const SystemDsConfig& config = {});
+
+}  // namespace remac
+
+#endif  // REMAC_BASELINES_SYSTEMDS_OPTIMIZER_H_

@@ -1,0 +1,40 @@
+#include "cluster/partitioner.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace remac {
+
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+int HashPartitioner::WorkerOf(int64_t block_row, int64_t block_col) const {
+  assert(num_workers_ > 0);
+  const uint64_t key = static_cast<uint64_t>(block_row) * 0x9e3779b97f4a7c15ULL +
+                       static_cast<uint64_t>(block_col);
+  return static_cast<int>(Mix(key) % static_cast<uint64_t>(num_workers_));
+}
+
+std::vector<double> HashPartitioner::WorkerLoads(
+    const std::vector<double>& weights, int64_t grid_cols) const {
+  assert(grid_cols > 0);
+  std::vector<double> loads(static_cast<size_t>(num_workers_), 0.0);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const int64_t br = static_cast<int64_t>(i) / grid_cols;
+    const int64_t bc = static_cast<int64_t>(i) % grid_cols;
+    loads[WorkerOf(br, bc)] += weights[i];
+  }
+  return loads;
+}
+
+}  // namespace remac

@@ -1,0 +1,36 @@
+#ifndef REMAC_CLUSTER_PARTITIONER_H_
+#define REMAC_CLUSTER_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace remac {
+
+/// \brief Hash partitioner mapping block coordinates to workers.
+///
+/// ReMac inherits SystemDS's hash partitioning of fixed-size matrix blocks
+/// (paper Section 6.5): block (br, bc) is owned by
+/// hash(br, bc) mod num_workers. The hash mixes both coordinates so that
+/// skewed data still spreads evenly across workers (Figure 13).
+class HashPartitioner {
+ public:
+  explicit HashPartitioner(int num_workers) : num_workers_(num_workers) {}
+
+  int num_workers() const { return num_workers_; }
+
+  /// Worker owning block (block_row, block_col).
+  int WorkerOf(int64_t block_row, int64_t block_col) const;
+
+  /// Distributes `weights[i]` (e.g., per-block byte sizes laid out
+  /// row-major on a grid_cols-wide grid) over workers; returns per-worker
+  /// totals. Used to measure work balance.
+  std::vector<double> WorkerLoads(const std::vector<double>& weights,
+                                  int64_t grid_cols) const;
+
+ private:
+  int num_workers_;
+};
+
+}  // namespace remac
+
+#endif  // REMAC_CLUSTER_PARTITIONER_H_

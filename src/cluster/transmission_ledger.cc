@@ -1,0 +1,67 @@
+#include "cluster/transmission_ledger.h"
+
+#include "common/string_util.h"
+
+namespace remac {
+
+TimeBreakdown& TimeBreakdown::operator+=(const TimeBreakdown& other) {
+  input_partition_seconds += other.input_partition_seconds;
+  compilation_seconds += other.compilation_seconds;
+  computation_seconds += other.computation_seconds;
+  transmission_seconds += other.transmission_seconds;
+  return *this;
+}
+
+std::string TimeBreakdown::ToString() const {
+  return StringFormat(
+      "partition=%s compile=%s compute=%s transmit=%s total=%s",
+      HumanSeconds(input_partition_seconds).c_str(),
+      HumanSeconds(compilation_seconds).c_str(),
+      HumanSeconds(computation_seconds).c_str(),
+      HumanSeconds(transmission_seconds).c_str(),
+      HumanSeconds(TotalSeconds()).c_str());
+}
+
+void TransmissionLedger::AddDistributedFlops(double flops) {
+  distributed_flops_ += flops;
+}
+
+void TransmissionLedger::AddLocalFlops(double flops) { local_flops_ += flops; }
+
+void TransmissionLedger::AddTransmission(TransmissionPrimitive pr,
+                                         double bytes) {
+  bytes_[static_cast<int>(pr)] += bytes;
+}
+
+void TransmissionLedger::AddInputPartition(double bytes) {
+  input_partition_bytes_ += bytes;
+}
+
+void TransmissionLedger::AddCompilationSeconds(double seconds) {
+  compilation_seconds_ += seconds;
+}
+
+TimeBreakdown TransmissionLedger::Breakdown() const {
+  TimeBreakdown b;
+  b.compilation_seconds = compilation_seconds_;
+  b.computation_seconds = distributed_flops_ * model_.WFlop() +
+                          local_flops_ * model_.WLocalFlop();
+  for (int i = 0; i < kNumTransmissionPrimitives; ++i) {
+    b.transmission_seconds +=
+        bytes_[i] * model_.WPrimitive(static_cast<TransmissionPrimitive>(i));
+  }
+  b.input_partition_seconds =
+      input_partition_bytes_ *
+      model_.WPrimitive(TransmissionPrimitive::kDfs);
+  return b;
+}
+
+void TransmissionLedger::Reset() {
+  distributed_flops_ = 0.0;
+  local_flops_ = 0.0;
+  bytes_.fill(0.0);
+  input_partition_bytes_ = 0.0;
+  compilation_seconds_ = 0.0;
+}
+
+}  // namespace remac

@@ -1,0 +1,77 @@
+#ifndef REMAC_CLUSTER_TRANSMISSION_LEDGER_H_
+#define REMAC_CLUSTER_TRANSMISSION_LEDGER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "cluster/cluster_model.h"
+
+namespace remac {
+
+/// \brief Breakdown of a run's simulated time, mirroring Figure 12.
+struct TimeBreakdown {
+  double input_partition_seconds = 0.0;
+  double compilation_seconds = 0.0;
+  double computation_seconds = 0.0;
+  double transmission_seconds = 0.0;
+
+  double TotalSeconds() const {
+    return input_partition_seconds + compilation_seconds +
+           computation_seconds + transmission_seconds;
+  }
+
+  TimeBreakdown& operator+=(const TimeBreakdown& other);
+  std::string ToString() const;
+};
+
+/// \brief Accounts all simulated work performed during execution.
+///
+/// The runtime executes operators for real (numerics are exact) and books
+/// the FLOPs and bytes each operator *would* cost on the modeled cluster
+/// here; the ledger converts them into simulated seconds using the
+/// ClusterModel weights. This is the substitution for the paper's 7-node
+/// Spark testbed (see DESIGN.md Section 2).
+class TransmissionLedger {
+ public:
+  explicit TransmissionLedger(ClusterModel model) : model_(model) {}
+
+  const ClusterModel& model() const { return model_; }
+
+  /// Books FLOPs executed by the distributed engine.
+  void AddDistributedFlops(double flops);
+  /// Books FLOPs executed locally on the driver.
+  void AddLocalFlops(double flops);
+  /// Books bytes moved by a transmission primitive.
+  void AddTransmission(TransmissionPrimitive pr, double bytes);
+  /// Books bytes written/read while partitioning input data into the
+  /// cluster (Figure 12's "input partition" bar).
+  void AddInputPartition(double bytes);
+  /// Books real compilation wall time.
+  void AddCompilationSeconds(double seconds);
+
+  double TotalFlops() const { return distributed_flops_ + local_flops_; }
+  double BytesFor(TransmissionPrimitive pr) const {
+    return bytes_[static_cast<int>(pr)];
+  }
+
+  /// The simulated time breakdown accumulated so far.
+  TimeBreakdown Breakdown() const;
+
+  /// Total simulated seconds (sum of the breakdown).
+  double TotalSeconds() const { return Breakdown().TotalSeconds(); }
+
+  void Reset();
+
+ private:
+  ClusterModel model_;
+  double distributed_flops_ = 0.0;
+  double local_flops_ = 0.0;
+  std::array<double, kNumTransmissionPrimitives> bytes_{};
+  double input_partition_bytes_ = 0.0;
+  double compilation_seconds_ = 0.0;
+};
+
+}  // namespace remac
+
+#endif  // REMAC_CLUSTER_TRANSMISSION_LEDGER_H_

@@ -1,0 +1,51 @@
+#ifndef REMAC_COMMON_LOGGING_H_
+#define REMAC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace remac {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Minimal leveled logger writing to stderr.
+///
+/// The global threshold defaults to kWarning so that library code stays
+/// quiet in tests and benchmarks; applications may lower it.
+class Logger {
+ public:
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+  static void Log(LogLevel level, const std::string& message);
+};
+
+namespace internal_logging {
+
+/// Stream-style helper: accumulates a message, emits it on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define REMAC_LOG(level) \
+  ::remac::internal_logging::LogMessage(::remac::LogLevel::level)
+
+}  // namespace remac
+
+#endif  // REMAC_COMMON_LOGGING_H_

@@ -1,0 +1,59 @@
+#ifndef REMAC_COMMON_RNG_H_
+#define REMAC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace remac {
+
+/// \brief Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// Used instead of <random> engines so that dataset generation is
+/// reproducible across standard library implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Standard normal variate (Box-Muller).
+  double NextGaussian();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// \brief Samples from a Zipf distribution over {0, ..., n-1}.
+///
+/// P(k) is proportional to 1 / (k+1)^exponent. An exponent of 0 yields the
+/// uniform distribution; larger exponents concentrate mass on small ranks.
+/// Sampling uses a precomputed cumulative table with binary search, which
+/// keeps generation exact (no rejection bias) at O(log n) per sample.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double exponent);
+
+  /// Draws one rank in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double exponent() const { return exponent_; }
+
+ private:
+  uint64_t n_;
+  double exponent_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace remac
+
+#endif  // REMAC_COMMON_RNG_H_

@@ -1,0 +1,143 @@
+#ifndef REMAC_COMMON_STATUS_H_
+#define REMAC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace remac {
+
+/// \brief Error categories used across the library.
+///
+/// The library does not throw exceptions across public API boundaries;
+/// fallible operations return a Status (or a Result<T>) instead, following
+/// the RocksDB / Arrow idiom.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kDimensionMismatch,
+  kNotFound,
+  kUnsupported,
+  kOutOfRange,
+  kInternal,
+};
+
+/// \brief Lightweight success-or-error value.
+///
+/// A default-constructed Status is OK and carries no message. Error
+/// statuses carry a code and a human-readable message.
+class Status {
+ public:
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status DimensionMismatch(std::string msg) {
+    return Status(StatusCode::kDimensionMismatch, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Accessing the value of an errored Result is a programming error and
+/// trips an assertion in debug builds.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok() &&
+           "Result constructed from an OK status carries no value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK Status from the current function.
+#define REMAC_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::remac::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+/// Evaluates a Result<T> expression, propagating errors, binding the value.
+#define REMAC_ASSIGN_OR_RETURN(lhs, expr)         \
+  auto REMAC_CONCAT_(res_, __LINE__) = (expr);    \
+  if (!REMAC_CONCAT_(res_, __LINE__).ok())        \
+    return REMAC_CONCAT_(res_, __LINE__).status(); \
+  lhs = std::move(REMAC_CONCAT_(res_, __LINE__)).value()
+
+#define REMAC_CONCAT_IMPL_(a, b) a##b
+#define REMAC_CONCAT_(a, b) REMAC_CONCAT_IMPL_(a, b)
+
+}  // namespace remac
+
+#endif  // REMAC_COMMON_STATUS_H_

@@ -1,0 +1,96 @@
+#ifndef REMAC_CORE_ADAPTIVE_OPTIMIZER_H_
+#define REMAC_CORE_ADAPTIVE_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_model.h"
+#include "common/status.h"
+#include "core/block_search.h"
+#include "core/dp_prober.h"
+#include "plan/plan_builder.h"
+#include "sparsity/estimator.h"
+
+namespace remac {
+
+/// How elimination options are searched for (paper Section 6.2.1).
+enum class SearchMethod { kBlockWise, kTreeWise, kSampled };
+
+/// Which options get applied (paper Sections 6.2.2 / 6.3.1).
+enum class EliminationStrategy {
+  kNone,          // no CSE/LSE at all
+  kAutomatic,     // apply as many found options as possible (no cost model)
+  kConservative,  // only order-preserving options
+  kAggressive,    // everything, order-changing options first
+  kAdaptive,      // cost-based probing (ReMac proper)
+};
+
+/// How the adaptive strategy combines options (paper Section 6.3.3).
+enum class CombinerKind { kDp, kEnumDepthFirst, kEnumBreadthFirst };
+
+const char* SearchMethodName(SearchMethod method);
+const char* EliminationStrategyName(EliminationStrategy strategy);
+
+struct OptimizerConfig {
+  /// Assumed loop trip count for LSE amortization.
+  int iterations = 20;
+  EliminationStrategy strategy = EliminationStrategy::kAdaptive;
+  CombinerKind combiner = CombinerKind::kDp;
+  SearchMethod search = SearchMethod::kBlockWise;
+  /// Distributive-expansion term budget.
+  int max_terms = 64;
+  /// Evaluation budget for the Enum combiners.
+  int64_t enum_budget = 100000;
+  /// Node budget for the tree-wise search baseline.
+  int64_t treewise_budget = 5000000;
+  /// SPORES-style sampling bounds.
+  int sampled_max_window = 3;
+  int sampled_max_samples = 24;
+  /// When non-empty, overrides the strategy: apply exactly the options
+  /// whose canonical key matches an entry (manual elimination; used to
+  /// reproduce the paper's fixed-choice bars like Figure 3's "ATA, ddT").
+  std::vector<std::string> forced_option_keys;
+  /// Enables the cross-block CSE extension (grouped sums hidden by the
+  /// distributive expansion; paper Section 3.2/3.3 discussion).
+  bool cross_block_cse = true;
+};
+
+struct OptimizeReport {
+  SearchReport search;
+  ProbeReport probe;
+  double total_compile_seconds = 0.0;
+  int options_found = 0;
+  int applied_cse = 0;
+  int applied_lse = 0;
+  /// Cross-block CSE rewrites applied before the block-wise search
+  /// (paper Section 3.2 discussion).
+  int applied_cross_block = 0;
+  std::vector<std::string> applied_options;
+};
+
+/// \brief The ReMac optimizer: automatic elimination (block-wise search
+/// for CSE and LSE options) followed by adaptive elimination (cost-graph
+/// DP probing), emitting an executable program in which chosen CSE
+/// subexpressions are materialized as per-iteration temporaries and
+/// chosen LSE subexpressions are hoisted before the loop.
+class ReMacOptimizer {
+ public:
+  ReMacOptimizer(const ClusterModel& cluster,
+                 const SparsityEstimator* estimator,
+                 const DataCatalog* catalog, OptimizerConfig config);
+
+  /// Optimizes the first top-level loop of `program` (or, for loop-free
+  /// programs such as a single expression, the whole statement list).
+  Result<CompiledProgram> Optimize(const CompiledProgram& program,
+                                   OptimizeReport* report = nullptr);
+
+ private:
+  ClusterModel cluster_;
+  const SparsityEstimator* estimator_;
+  const DataCatalog* catalog_;
+  OptimizerConfig config_;
+};
+
+}  // namespace remac
+
+#endif  // REMAC_CORE_ADAPTIVE_OPTIMIZER_H_

@@ -1,0 +1,72 @@
+#ifndef REMAC_CORE_ANALYSIS_H_
+#define REMAC_CORE_ANALYSIS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/plan_builder.h"
+#include "plan/plan_node.h"
+
+namespace remac {
+
+/// \brief The loop the optimizer targets, split out of a compiled program.
+struct LoopStructure {
+  std::vector<const CompiledStmt*> preamble;
+  const CompiledStmt* loop = nullptr;  // null if the program has no loop
+  std::vector<const CompiledStmt*> postamble;
+
+  /// Variables assigned inside the loop body (not loop-constant).
+  std::set<std::string> loop_assigned;
+};
+
+/// Locates the first top-level loop. Programs with no loop still work
+/// (everything lands in `preamble`, loop stays null).
+LoopStructure FindLoop(const CompiledProgram& program);
+
+/// \brief One loop-body output after intra-iteration inlining: the
+/// assignment's RHS with every temporary defined earlier in the same
+/// iteration substituted, so its leaves are only start-of-iteration
+/// variables and loop constants (paper Figure 4 builds its coordinates on
+/// exactly this substituted form).
+struct InlinedOutput {
+  std::string target;
+  PlanNodePtr plan;
+  bool scalar = false;
+};
+
+/// Inlines intra-iteration definitions through the loop body, in order.
+/// Committing all outputs at end-of-iteration then reproduces the
+/// original sequential semantics exactly.
+Result<std::vector<InlinedOutput>> InlineLoopBody(
+    const std::vector<CompiledStmt>& body);
+
+/// Sets node->loop_constant on every node: an input is loop-constant iff
+/// its name is not in `loop_assigned`; rand() is never loop-constant;
+/// interior nodes require all children constant.
+void LabelLoopConstants(PlanNode* node,
+                        const std::set<std::string>& loop_assigned);
+
+/// \brief Infers which variables provably hold symmetric matrices, to a
+/// fixpoint over the loop body (e.g., the inverse-Hessian approximation H
+/// in DFP stays symmetric across updates).
+///
+/// A plan tree is symmetric iff its transpose-pushed-down rendering equals
+/// its own rendering (with symmetric leaves' transposes normalized away).
+std::map<std::string, bool> InferSymmetricVars(const LoopStructure& loop);
+
+/// Sets node->symmetric on every node of the tree using the variable
+/// symmetry map (and structural rules: eye is symmetric, X with
+/// rows != cols is not, a subtree equal to its own transpose is).
+void LabelSymmetry(PlanNode* node,
+                   const std::map<std::string, bool>& symmetric_vars);
+
+/// True if the subtree provably equals its own transpose (leaf symmetric
+/// flags must already be labeled on the children).
+bool IsStructurallySymmetric(const PlanNode& node);
+
+}  // namespace remac
+
+#endif  // REMAC_CORE_ANALYSIS_H_

@@ -1,0 +1,370 @@
+#include "core/block_search.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <unordered_map>
+
+#include "plan/rewriter.h"
+
+namespace remac {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Shape of the canonical (key-oriented) subexpression of an occurrence.
+Shape CanonicalShape(const Block& block, const Occurrence& occ) {
+  Shape s;
+  s.rows = block.factors[occ.begin].shape.rows;
+  s.cols = block.factors[occ.end - 1].shape.cols;
+  if (!occ.forward) std::swap(s.rows, s.cols);
+  return s;
+}
+
+/// A window is worth eliminating only if reusing it saves computation:
+/// at least two factors, or a single transposed factor.
+bool WindowIsComputation(const Block& block, int begin, int end) {
+  if (end - begin >= 2) return true;
+  return block.factors[begin].transposed;
+}
+
+/// Greedily selects a maximal set of pairwise disjoint occurrences
+/// (within a block, overlapping windows cannot share one materialized
+/// value).
+std::vector<Occurrence> DisjointSubset(std::vector<Occurrence> occs) {
+  std::sort(occs.begin(), occs.end(), [](const Occurrence& a,
+                                         const Occurrence& b) {
+    if (a.block_id != b.block_id) return a.block_id < b.block_id;
+    if (a.end != b.end) return a.end < b.end;
+    return a.begin < b.begin;
+  });
+  std::vector<Occurrence> out;
+  for (const auto& occ : occs) {
+    bool clash = false;
+    for (const auto& kept : out) {
+      if (occ.Overlaps(kept)) {
+        clash = true;
+        break;
+      }
+    }
+    if (!clash) out.push_back(occ);
+  }
+  return out;
+}
+
+/// Builds options from a filled window table.
+std::vector<EliminationOption> OptionsFromTable(
+    const SearchSpace& space,
+    const std::unordered_map<std::string, std::vector<Occurrence>>& table,
+    bool find_lse) {
+  std::vector<EliminationOption> options;
+  for (const auto& [key, occs] : table) {
+    const std::vector<Occurrence> disjoint = DisjointSubset(occs);
+    if (disjoint.empty()) continue;
+    // CSE: the key appears in two or more disjoint places.
+    if (disjoint.size() >= 2) {
+      EliminationOption opt;
+      opt.kind = OptionKind::kCse;
+      opt.key = key;
+      opt.occurrences = disjoint;
+      opt.shape = CanonicalShape(space.blocks[disjoint[0].block_id],
+                                 disjoint[0]);
+      options.push_back(std::move(opt));
+    }
+    if (!find_lse) continue;
+    // LSE: occurrences whose factors are all loop-constant (paper
+    // Section 3.3 step 3*). A single occurrence still pays off.
+    std::vector<Occurrence> constant;
+    for (const auto& occ : disjoint) {
+      const Block& block = space.blocks[occ.block_id];
+      if (block.AllLoopConstant(occ.begin, occ.end)) constant.push_back(occ);
+    }
+    if (!constant.empty()) {
+      EliminationOption opt;
+      opt.kind = OptionKind::kLse;
+      opt.key = key;
+      opt.occurrences = constant;
+      opt.shape = CanonicalShape(space.blocks[constant[0].block_id],
+                                 constant[0]);
+      options.push_back(std::move(opt));
+    }
+  }
+  // Deterministic order + ids.
+  std::sort(options.begin(), options.end(),
+            [](const EliminationOption& a, const EliminationOption& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.kind < b.kind;
+            });
+  for (size_t i = 0; i < options.size(); ++i) {
+    options[i].id = static_cast<int>(i);
+  }
+  return options;
+}
+
+}  // namespace
+
+Result<SearchSpace> BuildSearchSpace(
+    const std::vector<InlinedOutput>& outputs,
+    const std::set<std::string>& loop_assigned,
+    const std::map<std::string, bool>& symmetric_vars, int max_terms) {
+  SearchSpace space;
+  // Version of each loop-assigned variable *before* statement i: the
+  // number of assignments among statements 0..i-1. Two windows over a
+  // loop variable may only unify when they read the same version, so the
+  // version is baked into the factor symbol.
+  std::map<std::string, int> version_now;
+  std::vector<std::map<std::string, int>> version_at(outputs.size());
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    version_at[i] = version_now;
+    ++version_now[outputs[i].target];
+  }
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    PlanNodePtr plan = outputs[i].plan->Clone();
+    LabelSymmetry(plan.get(), symmetric_vars);
+    LabelLoopConstants(plan.get(), loop_assigned);
+    plan = NormalizeForSearch(plan, max_terms);
+    // Normalization rebuilt nodes; re-label.
+    LabelSymmetry(plan.get(), symmetric_vars);
+    LabelLoopConstants(plan.get(), loop_assigned);
+    REMAC_ASSIGN_OR_RETURN(Decomposition d,
+                           DecomposeIntoBlocks(plan, static_cast<int>(i)));
+    // Renumber this decomposition's blocks into the global list.
+    const int offset = static_cast<int>(space.blocks.size());
+    std::function<void(PlanNode*)> renumber = [&](PlanNode* node) {
+      if (node->op == PlanOp::kBlockRef) {
+        node->value += offset;
+      }
+      for (auto& child : node->children) renumber(child.get());
+    };
+    renumber(d.skeleton.get());
+    for (auto& block : d.blocks) {
+      for (Factor& factor : block.factors) {
+        if (factor.node->op == PlanOp::kInput &&
+            loop_assigned.count(factor.node->name) > 0) {
+          auto vit = version_at[i].find(factor.node->name);
+          factor.version = vit == version_at[i].end() ? 0 : vit->second;
+          factor.base_symbol +=
+              "@" + std::to_string(factor.version);
+        }
+      }
+      block.coord_begin = space.coordinate_length;
+      space.coordinate_length += block.Length();
+      space.blocks.push_back(std::move(block));
+    }
+    SearchSpace::ExprEntry entry;
+    entry.target = outputs[i].target;
+    entry.skeleton = std::move(d.skeleton);
+    entry.scalar = outputs[i].scalar;
+    space.exprs.push_back(std::move(entry));
+  }
+  return space;
+}
+
+std::vector<EliminationOption> BlockWiseSearch(const SearchSpace& space,
+                                               SearchReport* report,
+                                               bool find_lse) {
+  const auto start = Clock::now();
+  std::unordered_map<std::string, std::vector<Occurrence>> table;
+  int64_t windows = 0;
+  for (size_t b = 0; b < space.blocks.size(); ++b) {
+    const Block& block = space.blocks[b];
+    const int len = static_cast<int>(block.factors.size());
+    for (int w = 1; w <= len; ++w) {
+      for (int s = 0; s + w <= len; ++s) {
+        if (!WindowIsComputation(block, s, s + w)) continue;
+        ++windows;
+        Occurrence occ;
+        occ.block_id = static_cast<int>(b);
+        occ.begin = s;
+        occ.end = s + w;
+        occ.forward = WindowIsForward(block, s, s + w);
+        table[WindowKey(block, s, s + w)].push_back(occ);
+      }
+    }
+  }
+  std::vector<EliminationOption> options =
+      OptionsFromTable(space, table, find_lse);
+  if (report != nullptr) {
+    report->wall_seconds = SecondsSince(start);
+    report->windows_visited = windows;
+    report->options_found = static_cast<int>(options.size());
+  }
+  return options;
+}
+
+namespace {
+
+/// Literal tree-wise enumeration (paper Section 3.1): builds every
+/// parenthesization tree of a chain, in every transposition variant
+/// (each internal node can also be computed as the transpose of its
+/// reversed children), and records every subtree of every such plan into
+/// the hash table — revisiting the same subexpression Catalan-many times.
+/// This is the duplicated search the block-wise method eliminates.
+class TreeEnumerator {
+ public:
+  TreeEnumerator(const SearchSpace& space, int64_t budget,
+                 std::unordered_map<std::string, std::vector<Occurrence>>*
+                     table)
+      : space_(space), budget_(budget), table_(table) {}
+
+  /// Enumerates trees over block `block_id`; returns false when the node
+  /// budget ran out mid-way.
+  bool EnumerateBlock(int block_id) {
+    block_id_ = block_id;
+    const Block& block = space_.blocks[block_id];
+    const int n = static_cast<int>(block.factors.size());
+    if (n == 0) return true;
+    pending_.clear();
+    chosen_.clear();
+    pending_.push_back({0, n});
+    return Step();
+  }
+
+  bool exhausted() const { return budget_ <= 0; }
+
+ private:
+  /// Expands the next pending range; on an empty agenda a complete tree
+  /// has formed and every subtree is visited in both orientations (the
+  /// 2^internal transposition variants are walked as an explicit loop,
+  /// which is exactly the wasted work a real tree-wise search performs).
+  bool Step() {
+    if (budget_ <= 0) return false;
+    if (pending_.empty()) {
+      int internal = 0;
+      for (const auto& range : chosen_) {
+        internal += (range.second - range.first) > 1;
+      }
+      // Each orientation assignment of internal nodes is a distinct plan
+      // tree; visit all of them (capped so a single huge tree cannot
+      // overshoot the budget by orders of magnitude).
+      const int64_t variants = int64_t{1}
+                               << std::min(internal, 24);
+      for (int64_t v = 0; v < variants; ++v) {
+        for (const auto& range : chosen_) {
+          budget_ -= 1;
+          if (budget_ <= 0) return false;
+          if (!WindowIsComputation(space_.blocks[block_id_], range.first,
+                                   range.second)) {
+            continue;
+          }
+          Occurrence occ;
+          occ.block_id = block_id_;
+          occ.begin = range.first;
+          occ.end = range.second;
+          occ.forward = WindowIsForward(space_.blocks[block_id_],
+                                        range.first, range.second);
+          auto& entries = (*table_)[WindowKey(
+              space_.blocks[block_id_], range.first, range.second)];
+          // Collapse consecutive duplicate visits so memory stays
+          // bounded; the (wasted) hash-table work is still performed.
+          if (entries.empty() || !entries.back().SameRange(occ)) {
+            entries.push_back(occ);
+          }
+        }
+      }
+      return true;
+    }
+    const std::pair<int, int> range = pending_.back();
+    pending_.pop_back();
+    chosen_.push_back(range);
+    if (range.second - range.first == 1) {
+      if (!Step()) return false;
+    } else {
+      for (int k = range.first + 1; k < range.second; ++k) {
+        pending_.push_back({range.first, k});
+        pending_.push_back({k, range.second});
+        if (!Step()) return false;
+        pending_.pop_back();
+        pending_.pop_back();
+      }
+    }
+    chosen_.pop_back();
+    pending_.push_back(range);
+    return true;
+  }
+
+  const SearchSpace& space_;
+  int64_t budget_;
+  std::unordered_map<std::string, std::vector<Occurrence>>* table_;
+  int block_id_ = 0;
+  std::vector<std::pair<int, int>> pending_;
+  std::vector<std::pair<int, int>> chosen_;
+};
+
+}  // namespace
+
+std::vector<EliminationOption> TreeWiseSearch(const SearchSpace& space,
+                                              int64_t budget,
+                                              SearchReport* report,
+                                              bool find_lse) {
+  const auto start = Clock::now();
+  std::unordered_map<std::string, std::vector<Occurrence>> table;
+  TreeEnumerator enumerator(space, budget, &table);
+  bool exhausted = false;
+  for (size_t b = 0; b < space.blocks.size() && !exhausted; ++b) {
+    if (space.blocks[b].factors.empty()) continue;
+    exhausted = !enumerator.EnumerateBlock(static_cast<int>(b));
+  }
+  // Dedupe repeated visits of the same window before option building.
+  for (auto& [key, occs] : table) {
+    std::sort(occs.begin(), occs.end(),
+              [](const Occurrence& a, const Occurrence& b) {
+                return std::tie(a.block_id, a.begin, a.end) <
+                       std::tie(b.block_id, b.begin, b.end);
+              });
+    occs.erase(std::unique(occs.begin(), occs.end(),
+                           [](const Occurrence& a, const Occurrence& b) {
+                             return a.SameRange(b);
+                           }),
+               occs.end());
+  }
+  std::vector<EliminationOption> options =
+      OptionsFromTable(space, table, find_lse);
+  if (report != nullptr) {
+    report->wall_seconds = SecondsSince(start);
+    report->windows_visited = exhausted ? -1 : 0;
+    report->options_found = static_cast<int>(options.size());
+  }
+  return options;
+}
+
+std::vector<EliminationOption> SampledSearch(const SearchSpace& space,
+                                             int max_window, int max_samples,
+                                             SearchReport* report) {
+  const auto start = Clock::now();
+  std::unordered_map<std::string, std::vector<Occurrence>> table;
+  int64_t windows = 0;
+  for (size_t b = 0; b < space.blocks.size(); ++b) {
+    const Block& block = space.blocks[b];
+    const int len = static_cast<int>(block.factors.size());
+    int samples = 0;
+    for (int w = 1; w <= std::min(len, max_window); ++w) {
+      for (int s = 0; s + w <= len && samples < max_samples; ++s) {
+        if (!WindowIsComputation(block, s, s + w)) continue;
+        ++windows;
+        ++samples;
+        Occurrence occ;
+        occ.block_id = static_cast<int>(b);
+        occ.begin = s;
+        occ.end = s + w;
+        occ.forward = WindowIsForward(block, s, s + w);
+        table[WindowKey(block, s, s + w)].push_back(occ);
+      }
+    }
+  }
+  std::vector<EliminationOption> options =
+      OptionsFromTable(space, table, /*find_lse=*/false);
+  if (report != nullptr) {
+    report->wall_seconds = SecondsSince(start);
+    report->windows_visited = windows;
+    report->options_found = static_cast<int>(options.size());
+  }
+  return options;
+}
+
+}  // namespace remac

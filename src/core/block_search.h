@@ -1,0 +1,73 @@
+#ifndef REMAC_CORE_BLOCK_SEARCH_H_
+#define REMAC_CORE_BLOCK_SEARCH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/analysis.h"
+#include "core/elimination_option.h"
+#include "plan/chain.h"
+
+namespace remac {
+
+/// \brief The normalized search space of one loop body: per-output
+/// skeletons plus the flat list of blocks laid out on the global
+/// coordinate axis (paper Figure 4).
+struct SearchSpace {
+  struct ExprEntry {
+    std::string target;
+    PlanNodePtr skeleton;  // kBlockRef leaves index into `blocks`
+    bool scalar = false;
+  };
+  std::vector<ExprEntry> exprs;
+  std::vector<Block> blocks;
+  int64_t coordinate_length = 0;
+};
+
+/// Normalizes the inlined loop outputs (symmetry + loop-constant labels,
+/// transpose push-down, expansion) and decomposes them into one global
+/// block list (paper Section 3.2 steps 1-2).
+Result<SearchSpace> BuildSearchSpace(
+    const std::vector<InlinedOutput>& outputs,
+    const std::set<std::string>& loop_assigned,
+    const std::map<std::string, bool>& symmetric_vars, int max_terms = 64);
+
+/// Metrics of one search run.
+struct SearchReport {
+  double wall_seconds = 0.0;
+  int64_t windows_visited = 0;
+  int options_found = 0;
+};
+
+/// \brief The block-wise search (paper Section 3.2 step 3 + Section 3.3):
+/// slides windows of every size over every block, hashing canonical keys;
+/// hash conflicts yield CSE options, all-loop-constant windows yield LSE
+/// options.
+std::vector<EliminationOption> BlockWiseSearch(const SearchSpace& space,
+                                               SearchReport* report,
+                                               bool find_lse = true);
+
+/// \brief Reference tree-wise search (paper Section 3.1): enumerates the
+/// parenthesization trees of every block (Catalan-many per chain) and
+/// collects subtree expressions — the baseline whose duplicated work
+/// motivates the block-wise search. Produces the same option set when it
+/// completes. Stops early after `budget` tree nodes, returning what it
+/// found with report->wall_seconds reflecting the time spent.
+std::vector<EliminationOption> TreeWiseSearch(const SearchSpace& space,
+                                              int64_t budget,
+                                              SearchReport* report,
+                                              bool find_lse = true);
+
+/// \brief SPORES-style sampled search: considers only a bounded sample of
+/// windows per block (mimicking the sampling SPORES uses on long
+/// multiplication chains) and finds CSE only (no loop analysis).
+std::vector<EliminationOption> SampledSearch(const SearchSpace& space,
+                                             int max_window, int max_samples,
+                                             SearchReport* report);
+
+}  // namespace remac
+
+#endif  // REMAC_CORE_BLOCK_SEARCH_H_

@@ -1,0 +1,134 @@
+#ifndef REMAC_CORE_COST_GRAPH_H_
+#define REMAC_CORE_COST_GRAPH_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/block_search.h"
+#include "core/elimination_option.h"
+#include "cost/cost_model.h"
+
+namespace remac {
+
+/// A half-open factor interval within a block.
+struct Interval {
+  int begin = 0;
+  int end = 0;
+  bool operator<(const Interval& other) const {
+    return std::tie(begin, end) < std::tie(other.begin, other.end);
+  }
+  bool operator==(const Interval&) const = default;
+};
+
+/// Binary split structure chosen by the chain DP for one block.
+struct SplitNode {
+  Interval range;
+  /// Leaf unit: either a single factor or a contracted (temp) interval.
+  bool is_unit = false;
+  /// When the unit is a contracted occurrence: the option providing it
+  /// (-1 for plain single factors).
+  int option_id = -1;
+  std::unique_ptr<SplitNode> left;
+  std::unique_ptr<SplitNode> right;
+};
+
+/// Result of evaluating one combination of elimination options.
+struct CombinationCost {
+  /// Cost of one loop iteration, including CSE temp production and the
+  /// amortized share of hoisted LSE productions.
+  double per_iteration_seconds = 0.0;
+  /// Un-amortized one-time cost of all hoisted LSE temps.
+  double hoisted_seconds = 0.0;
+  /// Per-option production cost (seconds), indexed by option id.
+  std::map<int, double> production_seconds;
+};
+
+/// \brief The cost graph of paper Section 4.3: for every block, the
+/// lattice of interval operators O(I_l, I_r) with their costs, where
+/// alternative downstream operators are alternative split points
+/// (Figure 6), LSE contributes amortized operator costs, and CSE
+/// contributes apportioned candidate costs.
+///
+/// Built once per optimization (the building phase); the probing phase
+/// calls Evaluate() with different option sets (Equations 7-10 reduce to
+/// interval DP over contracted units).
+class CostGraph {
+ public:
+  CostGraph(const SearchSpace* space, const CostModel* cost_model,
+            const VarStats* vars, int iterations);
+
+  /// Precomputes interval statistics for every block (the building
+  /// phase's per-operator evaluations).
+  Status Build();
+
+  int iterations() const { return iterations_; }
+  const CostModel& cost_model() const { return *cost_model_; }
+
+  /// Canonical statistics of factors [begin, end) of `block_id`.
+  const CostedStats& IntervalStats(int block_id, int begin, int end) const;
+
+  /// Minimum cost of computing the interval with no options applied
+  /// (Equations 7-8 without candidates), plus the chosen split.
+  double PlainIntervalCost(int block_id, int begin, int end) const;
+
+  /// Evaluates the total per-iteration cost of the loop body with the
+  /// given chosen options (the probing phase objective). Returns an
+  /// error when the chosen options conflict.
+  Result<CombinationCost> Evaluate(
+      const std::vector<const EliminationOption*>& chosen) const;
+
+  /// Split tree of the no-option optimal plan of one block.
+  const SplitNode* DefaultSplit(int block_id) const;
+
+  /// True if [begin, end) is a subtree interval of the default split of
+  /// `block_id` (used by the conservative strategy's order test).
+  bool IsOriginalOrderInterval(int block_id, int begin, int end) const;
+
+  /// Chain DP over a block with `contracted` occurrence intervals used as
+  /// free units (temp references). Returns cost; fills `split` when
+  /// non-null. `contracted` must be pairwise disjoint.
+  double ChainCostWithUnits(int block_id, int range_begin, int range_end,
+                            const std::vector<std::pair<Interval, int>>&
+                                contracted,
+                            std::unique_ptr<SplitNode>* split) const;
+
+  /// Total skeleton cost of one expression given per-block costs already
+  /// accounted: returns operator costs of the non-chain glue (element-wise
+  /// ops, divisions, ...), treating each kBlockRef as a free leaf with the
+  /// block's root statistics.
+  Result<double> SkeletonCost(int expr_index) const;
+
+ private:
+  struct BlockTable {
+    // stats[i * n + j] for 0 <= i <= j < n.
+    std::vector<CostedStats> stats;
+    // Production cost of opaque factors (charged once per block plan).
+    double opaque_factor_seconds = 0.0;
+    std::unique_ptr<SplitNode> default_split;
+    double default_cost = 0.0;
+    std::set<Interval> default_intervals;
+  };
+
+  const CostedStats& StatsAt(const BlockTable& table, int n, int i,
+                             int j) const {
+    return table.stats[static_cast<size_t>(i) * n + j];
+  }
+
+  Result<CostedStats> FactorStats(const Factor& factor) const;
+
+  const SearchSpace* space_;
+  const CostModel* cost_model_;
+  const VarStats* vars_;
+  int iterations_;
+  std::vector<BlockTable> tables_;
+  double total_skeleton_seconds_ = 0.0;  // cached: option-independent
+  bool built_ = false;
+};
+
+}  // namespace remac
+
+#endif  // REMAC_CORE_COST_GRAPH_H_

@@ -1,0 +1,400 @@
+#include "core/cross_block.h"
+
+#include <functional>
+#include <map>
+
+#include "common/string_util.h"
+#include "plan/chain.h"
+#include "plan/rewriter.h"
+
+namespace remac {
+
+namespace {
+
+/// One additive term of a flattened sum: an optional scalar coefficient
+/// times one multiplication-chain block.
+struct AdditiveTerm {
+  double sign = 1.0;
+  double coeff = 1.0;
+  int block_id = -1;  // -1: not a plain chain term (kept verbatim)
+  PlanNodePtr verbatim;  // used when block_id < 0
+};
+
+/// A flattened additive group inside one output's skeleton.
+struct AdditiveGroup {
+  int output_index = 0;
+  std::vector<AdditiveTerm> terms;
+  Shape shape;
+};
+
+/// Versioned symbol of a factor (mirrors BuildSearchSpace's keying).
+std::string VersionedSymbol(const Factor& factor,
+                            const std::set<std::string>& loop_assigned,
+                            const std::map<std::string, int>& versions) {
+  std::string symbol = factor.Symbol();
+  if (factor.node->op == PlanOp::kInput &&
+      loop_assigned.count(factor.node->name) > 0) {
+    auto it = versions.find(factor.node->name);
+    symbol += "@" + std::to_string(it == versions.end() ? 0 : it->second);
+  }
+  return symbol;
+}
+
+std::vector<std::string> VersionedSymbols(
+    const Block& block, const std::set<std::string>& loop_assigned,
+    const std::map<std::string, int>& versions) {
+  std::vector<std::string> symbols;
+  symbols.reserve(block.factors.size());
+  for (const Factor& factor : block.factors) {
+    symbols.push_back(VersionedSymbol(factor, loop_assigned, versions));
+  }
+  return symbols;
+}
+
+/// Flattens kAdd/kSub chains over matrices into additive groups; every
+/// other skeleton node recurses.
+void CollectGroups(const PlanNodePtr& node, int output_index,
+                   std::vector<AdditiveGroup>* groups) {
+  if ((node->op == PlanOp::kAdd || node->op == PlanOp::kSub) &&
+      !node->shape.ScalarLike()) {
+    AdditiveGroup group;
+    group.output_index = output_index;
+    group.shape = node->shape;
+    std::function<void(const PlanNodePtr&, double)> flatten =
+        [&](const PlanNodePtr& n, double sign) {
+          if ((n->op == PlanOp::kAdd || n->op == PlanOp::kSub) &&
+              !n->shape.ScalarLike()) {
+            flatten(n->children[0], sign);
+            flatten(n->children[1],
+                    n->op == PlanOp::kSub ? -sign : sign);
+            return;
+          }
+          AdditiveTerm term;
+          term.sign = sign;
+          PlanNodePtr body = n;
+          // Peel a scalar constant coefficient.
+          if (body->op == PlanOp::kMul &&
+              body->children[0]->op == PlanOp::kConst) {
+            term.coeff = body->children[0]->value;
+            body = body->children[1];
+          } else if (body->op == PlanOp::kMul &&
+                     body->children[1]->op == PlanOp::kConst) {
+            term.coeff = body->children[1]->value;
+            body = body->children[0];
+          }
+          if (body->op == PlanOp::kBlockRef) {
+            term.block_id = static_cast<int>(body->value);
+          } else {
+            term.verbatim = n;
+            // Non-chain term (e.g., nested division): recurse into it so
+            // inner groups are still considered.
+            CollectGroups(n, output_index, groups);
+          }
+          group.terms.push_back(std::move(term));
+        };
+    flatten(node, 1.0);
+    groups->push_back(std::move(group));
+    return;
+  }
+  for (const auto& child : node->children) {
+    CollectGroups(child, output_index, groups);
+  }
+}
+
+/// A candidate pairing of two terms sharing a common prefix or suffix.
+struct Site {
+  int group_index;
+  size_t term_a;
+  size_t term_b;
+  int shared_len;   // factors shared
+  bool prefix;      // true: common prefix (rest is the suffix sum)
+  std::string group_key;
+};
+
+}  // namespace
+
+Result<std::vector<CrossBlockOption>> ApplyCrossBlockCse(
+    std::vector<InlinedOutput>* outputs,
+    const std::set<std::string>& loop_assigned) {
+  std::vector<CrossBlockOption> applied;
+
+  // Versions of loop variables before each output statement.
+  std::map<std::string, int> version_now;
+  std::vector<std::map<std::string, int>> version_at(outputs->size());
+  for (size_t i = 0; i < outputs->size(); ++i) {
+    version_at[i] = version_now;
+    ++version_now[(*outputs)[i].target];
+  }
+
+  // Normalize + decompose every output once.
+  std::vector<Decomposition> decomposed(outputs->size());
+  std::vector<std::vector<std::string>> block_symbols;  // global block id
+  std::vector<const Block*> blocks_flat;
+  std::vector<AdditiveGroup> groups;
+  std::vector<int> block_offset(outputs->size(), 0);
+  for (size_t i = 0; i < outputs->size(); ++i) {
+    PlanNodePtr normalized = NormalizeForSearch((*outputs)[i].plan);
+    REMAC_ASSIGN_OR_RETURN(decomposed[i],
+                           DecomposeIntoBlocks(normalized,
+                                               static_cast<int>(i)));
+    block_offset[i] = static_cast<int>(blocks_flat.size());
+    // Renumber block refs globally.
+    std::function<void(PlanNode*)> renumber = [&](PlanNode* node) {
+      if (node->op == PlanOp::kBlockRef) node->value += block_offset[i];
+      for (auto& child : node->children) renumber(child.get());
+    };
+    renumber(decomposed[i].skeleton.get());
+    for (const Block& block : decomposed[i].blocks) {
+      blocks_flat.push_back(&block);
+      block_symbols.push_back(
+          VersionedSymbols(block, loop_assigned, version_at[i]));
+    }
+    CollectGroups(decomposed[i].skeleton, static_cast<int>(i), &groups);
+  }
+
+  // Candidate sites: pairs of chain terms in one group with a shared
+  // prefix or suffix and equal sign/coefficient.
+  std::map<std::string, std::vector<Site>> sites_by_key;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const AdditiveGroup& group = groups[g];
+    for (size_t a = 0; a < group.terms.size(); ++a) {
+      for (size_t b = a + 1; b < group.terms.size(); ++b) {
+        const AdditiveTerm& ta = group.terms[a];
+        const AdditiveTerm& tb = group.terms[b];
+        if (ta.block_id < 0 || tb.block_id < 0) continue;
+        if (ta.sign != tb.sign || ta.coeff != tb.coeff) continue;
+        const auto& sa = block_symbols[ta.block_id];
+        const auto& sb = block_symbols[tb.block_id];
+        // Maximal common prefix.
+        size_t p = 0;
+        while (p < sa.size() - 1 && p < sb.size() - 1 && sa[p] == sb[p]) {
+          ++p;
+        }
+        if (p >= 1) {
+          std::string ka = Join(std::vector<std::string>(sa.begin() + p, sa.end()), "*");
+          std::string kb = Join(std::vector<std::string>(sb.begin() + p, sb.end()), "*");
+          if (kb < ka) std::swap(ka, kb);
+          Site site{static_cast<int>(g), a, b, static_cast<int>(p), true,
+                    ka + "+" + kb};
+          sites_by_key[site.group_key].push_back(site);
+        }
+        // Maximal common suffix.
+        size_t s = 0;
+        while (s < sa.size() - 1 && s < sb.size() - 1 &&
+               sa[sa.size() - 1 - s] == sb[sb.size() - 1 - s]) {
+          ++s;
+        }
+        if (s >= 1) {
+          std::string ka = Join(std::vector<std::string>(sa.begin(), sa.end() - s), "*");
+          std::string kb = Join(std::vector<std::string>(sb.begin(), sb.end() - s), "*");
+          if (kb < ka) std::swap(ka, kb);
+          Site site{static_cast<int>(g), a, b, static_cast<int>(s), false,
+                    ka + "+" + kb};
+          sites_by_key[site.group_key].push_back(site);
+        }
+      }
+    }
+  }
+
+  // Apply keys occurring at two or more sites; a term joins one rewrite.
+  std::set<std::pair<int, size_t>> used_terms;
+  struct Rewrite {
+    Site site;
+    std::string temp_name;
+  };
+  std::vector<Rewrite> rewrites;
+  int next_temp = 0;
+  // Deterministic order.
+  for (auto& [key, sites] : sites_by_key) {
+    if (sites.size() < 2) continue;
+    std::vector<Site> usable;
+    for (const Site& site : sites) {
+      if (used_terms.count({site.group_index, site.term_a}) > 0) continue;
+      if (used_terms.count({site.group_index, site.term_b}) > 0) continue;
+      usable.push_back(site);
+    }
+    if (usable.size() < 2) continue;
+    CrossBlockOption option;
+    option.key = key;
+    option.num_sites = static_cast<int>(usable.size());
+    option.temp_name = StringFormat("__xb%d", next_temp++);
+    for (const Site& site : usable) {
+      used_terms.insert({site.group_index, site.term_a});
+      used_terms.insert({site.group_index, site.term_b});
+      rewrites.push_back(Rewrite{site, option.temp_name});
+    }
+    applied.push_back(std::move(option));
+  }
+  if (rewrites.empty()) return applied;
+
+  // ---- Rebuild the affected outputs. -----------------------------------
+  // For each rewritten pair, the two terms become
+  //   sign * coeff * (shared-part-plan  %*%  temp)       (prefix kind)
+  //   sign * coeff * (temp %*% shared-part-plan)          (suffix kind)
+  // and the temp (inserted before the first use) computes
+  //   rest_a + rest_b.
+  auto term_rest_plan = [&](const AdditiveTerm& term, const Site& site)
+      -> PlanNodePtr {
+    const Block& block = *blocks_flat[term.block_id];
+    const size_t n = block.factors.size();
+    if (site.prefix) {
+      return LeftDeepChain(block, static_cast<size_t>(site.shared_len), n);
+    }
+    return LeftDeepChain(block, 0, n - static_cast<size_t>(site.shared_len));
+  };
+  auto term_shared_plan = [&](const AdditiveTerm& term, const Site& site)
+      -> PlanNodePtr {
+    const Block& block = *blocks_flat[term.block_id];
+    const size_t n = block.factors.size();
+    if (site.prefix) {
+      return LeftDeepChain(block, 0, static_cast<size_t>(site.shared_len));
+    }
+    return LeftDeepChain(block, n - static_cast<size_t>(site.shared_len), n);
+  };
+
+  // Temp definitions keyed by name (built from the first site seen).
+  std::map<std::string, PlanNodePtr> temp_plans;
+  std::map<std::string, int> temp_first_use;  // earliest output index
+  // Group rewrites by (group) for reassembly.
+  std::map<int, std::vector<Rewrite>> rewrites_by_group;
+  for (const Rewrite& rewrite : rewrites) {
+    rewrites_by_group[rewrite.site.group_index].push_back(rewrite);
+    const AdditiveGroup& group = groups[rewrite.site.group_index];
+    if (temp_plans.count(rewrite.temp_name) == 0) {
+      const AdditiveTerm& ta = group.terms[rewrite.site.term_a];
+      const AdditiveTerm& tb = group.terms[rewrite.site.term_b];
+      PlanNodePtr sum =
+          MakeBinary(PlanOp::kAdd, term_rest_plan(ta, rewrite.site),
+                     term_rest_plan(tb, rewrite.site));
+      REMAC_RETURN_NOT_OK(InferShapes(sum.get()));
+      temp_plans[rewrite.temp_name] = std::move(sum);
+      temp_first_use[rewrite.temp_name] = group.output_index;
+    } else {
+      temp_first_use[rewrite.temp_name] =
+          std::min(temp_first_use[rewrite.temp_name], group.output_index);
+    }
+  }
+
+  // Rebuild each affected output plan from its skeleton: additive groups
+  // are re-emitted with rewritten pairs collapsed.
+  std::function<Result<PlanNodePtr>(const PlanNodePtr&, size_t)> rebuild =
+      [&](const PlanNodePtr& node, size_t output_index)
+      -> Result<PlanNodePtr> {
+    // Is this node the root of a collected group with rewrites?
+    for (auto& [g, group_rewrites] : rewrites_by_group) {
+      const AdditiveGroup& group = groups[g];
+      if (group.output_index != static_cast<int>(output_index)) continue;
+      // Match by flattening again and comparing term count/shape. The
+      // skeleton is a tree, so identity of the additive root is
+      // unambiguous: re-derive groups of this node and check the first.
+      std::vector<AdditiveGroup> here;
+      if (node->op == PlanOp::kAdd || node->op == PlanOp::kSub) {
+        CollectGroups(node, static_cast<int>(output_index), &here);
+      }
+      if (here.empty() || here[0].terms.size() != group.terms.size()) {
+        continue;
+      }
+      bool same = here[0].shape == group.shape;
+      for (size_t t = 0; same && t < group.terms.size(); ++t) {
+        same = here[0].terms[t].block_id == group.terms[t].block_id;
+      }
+      if (!same) continue;
+      // Emit the group with rewrites applied.
+      std::set<size_t> dropped;
+      std::vector<PlanNodePtr> emitted;
+      for (const Rewrite& rewrite : group_rewrites) {
+        const AdditiveTerm& ta = group.terms[rewrite.site.term_a];
+        PlanNodePtr shared = term_shared_plan(ta, rewrite.site);
+        PlanNodePtr ref = MakeInput(
+            rewrite.temp_name, temp_plans[rewrite.temp_name]->shape);
+        PlanNodePtr product =
+            rewrite.site.prefix
+                ? MakeBinary(PlanOp::kMatMul, std::move(shared),
+                             std::move(ref))
+                : MakeBinary(PlanOp::kMatMul, std::move(ref),
+                             std::move(shared));
+        REMAC_RETURN_NOT_OK(InferShapes(product.get()));
+        const double scale = ta.sign * ta.coeff;
+        if (scale != 1.0) {
+          product = MakeBinary(PlanOp::kMul, MakeConst(scale),
+                               std::move(product));
+          REMAC_RETURN_NOT_OK(InferShapes(product.get()));
+        }
+        emitted.push_back(std::move(product));
+        dropped.insert(rewrite.site.term_a);
+        dropped.insert(rewrite.site.term_b);
+      }
+      for (size_t t = 0; t < group.terms.size(); ++t) {
+        if (dropped.count(t) > 0) continue;
+        const AdditiveTerm& term = group.terms[t];
+        PlanNodePtr body;
+        if (term.block_id >= 0) {
+          const Block& block = *blocks_flat[term.block_id];
+          body = LeftDeepChain(block, 0, block.factors.size());
+        } else {
+          REMAC_ASSIGN_OR_RETURN(body,
+                                 rebuild(term.verbatim, output_index));
+        }
+        const double scale = term.sign * term.coeff;
+        if (scale != 1.0) {
+          body = MakeBinary(PlanOp::kMul, MakeConst(scale), std::move(body));
+          REMAC_RETURN_NOT_OK(InferShapes(body.get()));
+        }
+        emitted.push_back(std::move(body));
+      }
+      PlanNodePtr acc = emitted.front();
+      for (size_t t = 1; t < emitted.size(); ++t) {
+        acc = MakeBinary(PlanOp::kAdd, std::move(acc), std::move(emitted[t]));
+        REMAC_RETURN_NOT_OK(InferShapes(acc.get()));
+      }
+      return acc;
+    }
+    if (node->op == PlanOp::kBlockRef) {
+      const Block& block = *blocks_flat[static_cast<int>(node->value)];
+      return LeftDeepChain(block, 0, block.factors.size());
+    }
+    auto out = std::make_shared<PlanNode>();
+    out->op = node->op;
+    out->name = node->name;
+    out->value = node->value;
+    out->shape = node->shape;
+    for (const auto& child : node->children) {
+      REMAC_ASSIGN_OR_RETURN(PlanNodePtr sub, rebuild(child, output_index));
+      out->children.push_back(std::move(sub));
+    }
+    return out;
+  };
+
+  // Which outputs were touched?
+  std::set<int> touched;
+  for (const Rewrite& rewrite : rewrites) {
+    touched.insert(groups[rewrite.site.group_index].output_index);
+  }
+  std::vector<InlinedOutput> result;
+  for (size_t i = 0; i < outputs->size(); ++i) {
+    // Insert temps whose first use is this statement.
+    for (const auto& [name, plan] : temp_plans) {
+      if (temp_first_use[name] == static_cast<int>(i)) {
+        InlinedOutput temp;
+        temp.target = name;
+        temp.plan = plan;
+        temp.scalar = plan->shape.is_scalar;
+        result.push_back(std::move(temp));
+      }
+    }
+    if (touched.count(static_cast<int>(i)) > 0) {
+      REMAC_ASSIGN_OR_RETURN(PlanNodePtr plan,
+                             rebuild(decomposed[i].skeleton, i));
+      REMAC_RETURN_NOT_OK(InferShapes(plan.get()));
+      InlinedOutput out = (*outputs)[i];
+      out.plan = std::move(plan);
+      result.push_back(std::move(out));
+    } else {
+      result.push_back((*outputs)[i]);
+    }
+  }
+  *outputs = std::move(result);
+  return applied;
+}
+
+}  // namespace remac

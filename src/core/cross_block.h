@@ -1,0 +1,45 @@
+#ifndef REMAC_CORE_CROSS_BLOCK_H_
+#define REMAC_CORE_CROSS_BLOCK_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/analysis.h"
+
+namespace remac {
+
+/// \brief A cross-block CSE found by reverting the distributive expansion
+/// (paper Section 3.2 discussion): the expansion splits
+/// P(XY + YZ) into the blocks P·X·Y and P·Y·Z, hiding the common sum
+/// XY + YZ; grouping terms by their shared prefix/suffix factors reveals
+/// it. When the same grouped sum occurs in two or more places it is
+/// materialized once.
+struct CrossBlockOption {
+  /// Canonical key of the grouped sum (sorted canonical chain keys of the
+  /// residual terms joined with '+').
+  std::string key;
+  int num_sites = 0;
+  /// Name of the temp the rewrite introduced.
+  std::string temp_name;
+};
+
+/// Detects repeated grouped sums across the (inlined) loop outputs and
+/// rewrites them: a temp statement computing the grouped sum is inserted
+/// before its first use and the matched additive terms are replaced by
+/// (common factor) * temp. The rewritten outputs flow through the normal
+/// pipeline, where the temp's own chains get searched like any other
+/// statement. Sites are only unified when every referenced loop variable
+/// has the same intra-iteration version at both sites.
+///
+/// Returns the applied options (empty when nothing repeats, which is the
+/// common case for GD/DFP/BFGS — the pattern needs sums of products that
+/// share factors, as in the paper's P XY + P YZ + XY Q + YZ Q example).
+Result<std::vector<CrossBlockOption>> ApplyCrossBlockCse(
+    std::vector<InlinedOutput>* outputs,
+    const std::set<std::string>& loop_assigned);
+
+}  // namespace remac
+
+#endif  // REMAC_CORE_CROSS_BLOCK_H_

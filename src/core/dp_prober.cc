@@ -1,0 +1,70 @@
+#include "core/dp_prober.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace remac {
+
+Result<std::vector<const EliminationOption*>> AdaptiveProbe(
+    const CostGraph& graph, const std::vector<EliminationOption>& options,
+    ProbeReport* report) {
+  const auto start = std::chrono::steady_clock::now();
+  int evaluations = 0;
+  auto evaluate = [&](const std::vector<const EliminationOption*>& combo)
+      -> Result<double> {
+    ++evaluations;
+    REMAC_ASSIGN_OR_RETURN(const CombinationCost cost, graph.Evaluate(combo));
+    return cost.per_iteration_seconds;
+  };
+
+  std::vector<const EliminationOption*> chosen;
+  REMAC_ASSIGN_OR_RETURN(double best_cost, evaluate(chosen));
+  const double baseline = best_cost;
+
+  // Live candidate set; withdrawn permanently once conflicting with a
+  // committed option.
+  std::vector<const EliminationOption*> candidates;
+  candidates.reserve(options.size());
+  for (const auto& opt : options) candidates.push_back(&opt);
+
+  const double kImprovementEps = 1e-12;
+  for (;;) {
+    const EliminationOption* best_option = nullptr;
+    double best_with = best_cost;
+    for (const EliminationOption* candidate : candidates) {
+      std::vector<const EliminationOption*> combo = chosen;
+      combo.push_back(candidate);
+      auto cost = evaluate(combo);
+      if (!cost.ok()) continue;  // conflicting candidate; skip this round
+      if (cost.value() < best_with - kImprovementEps) {
+        best_with = cost.value();
+        best_option = candidate;
+      }
+    }
+    if (best_option == nullptr) break;
+    chosen.push_back(best_option);
+    best_cost = best_with;
+    // Withdraw the committed option and everything now conflicting.
+    std::vector<const EliminationOption*> remaining;
+    remaining.reserve(candidates.size());
+    for (const EliminationOption* candidate : candidates) {
+      if (candidate == best_option) continue;
+      if (OptionsConflict(*candidate, *best_option)) continue;
+      remaining.push_back(candidate);
+    }
+    candidates = std::move(remaining);
+    if (candidates.empty()) break;
+  }
+
+  if (report != nullptr) {
+    report->evaluations = evaluations;
+    report->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    report->chosen_cost = best_cost;
+    report->baseline_cost = baseline;
+  }
+  return chosen;
+}
+
+}  // namespace remac

@@ -1,0 +1,35 @@
+#ifndef REMAC_CORE_DP_PROBER_H_
+#define REMAC_CORE_DP_PROBER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/cost_graph.h"
+#include "core/elimination_option.h"
+
+namespace remac {
+
+/// Metrics of one probing / enumeration run.
+struct ProbeReport {
+  int evaluations = 0;
+  double wall_seconds = 0.0;
+  double chosen_cost = 0.0;    // per-iteration cost of the final pick
+  double baseline_cost = 0.0;  // per-iteration cost with no options
+};
+
+/// \brief The probing phase of adaptive elimination (paper Section 4.3.2).
+///
+/// Each candidate option's accumulated cost is evaluated in the joint
+/// upstream of its occurrences by a full interval-DP pass (Equations
+/// 7-10 reduce to chain DP over contracted units); options whose
+/// candidate cost beats the current minimum are picked, options that can
+/// no longer contribute are withdrawn, and the process repeats until no
+/// candidate improves the plan. Avoids brute-force enumeration: the work
+/// is O(rounds * options * DP) instead of exponential.
+Result<std::vector<const EliminationOption*>> AdaptiveProbe(
+    const CostGraph& graph, const std::vector<EliminationOption>& options,
+    ProbeReport* report);
+
+}  // namespace remac
+
+#endif  // REMAC_CORE_DP_PROBER_H_

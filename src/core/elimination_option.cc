@@ -1,0 +1,47 @@
+#include "core/elimination_option.h"
+
+#include "common/string_util.h"
+
+namespace remac {
+
+bool Occurrence::Overlaps(const Occurrence& other) const {
+  if (block_id != other.block_id) return false;
+  return begin < other.end && other.begin < end;
+}
+
+bool Occurrence::Inside(const Occurrence& other) const {
+  return block_id == other.block_id && other.begin <= begin &&
+         end <= other.end && !SameRange(other);
+}
+
+bool Occurrence::SameRange(const Occurrence& other) const {
+  return block_id == other.block_id && begin == other.begin &&
+         end == other.end;
+}
+
+std::string Occurrence::ToString() const {
+  return StringFormat("b%d[%d,%d)%s", block_id, begin, end,
+                      forward ? "" : "^T");
+}
+
+std::string EliminationOption::ToString() const {
+  std::vector<std::string> occs;
+  occs.reserve(occurrences.size());
+  for (const auto& o : occurrences) occs.push_back(o.ToString());
+  return StringFormat("%s#%d{%s @ %s}", IsLse() ? "LSE" : "CSE", id,
+                      key.c_str(), Join(occs, ",").c_str());
+}
+
+bool OptionsConflict(const EliminationOption& a, const EliminationOption& b) {
+  for (const auto& oa : a.occurrences) {
+    for (const auto& ob : b.occurrences) {
+      if (!oa.Overlaps(ob)) continue;
+      if (oa.SameRange(ob)) return true;
+      if (oa.Inside(ob) || ob.Inside(oa)) continue;  // nesting is fine
+      return true;  // partial overlap
+    }
+  }
+  return false;
+}
+
+}  // namespace remac

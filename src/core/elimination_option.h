@@ -1,0 +1,55 @@
+#ifndef REMAC_CORE_ELIMINATION_OPTION_H_
+#define REMAC_CORE_ELIMINATION_OPTION_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/chain.h"
+#include "plan/plan_node.h"
+
+namespace remac {
+
+/// \brief One appearance of a redundant subexpression: a factor window
+/// [begin, end) inside a block.
+struct Occurrence {
+  int block_id = 0;
+  int begin = 0;
+  int end = 0;
+  /// True if the window reads in the canonical orientation; false means
+  /// the site needs the transpose of the shared result.
+  bool forward = true;
+
+  int Length() const { return end - begin; }
+  bool Overlaps(const Occurrence& other) const;
+  /// Strict containment (this inside other).
+  bool Inside(const Occurrence& other) const;
+  bool SameRange(const Occurrence& other) const;
+  std::string ToString() const;
+};
+
+enum class OptionKind { kCse, kLse };
+
+/// \brief One elimination option produced by the block-wise search: a
+/// canonical subexpression plus every place it occurs. CSE options have
+/// at least two disjoint occurrences; LSE options have loop-constant
+/// windows (one occurrence suffices — hoisting still pays off).
+struct EliminationOption {
+  int id = 0;
+  OptionKind kind = OptionKind::kCse;
+  std::string key;  // canonical window key
+  std::vector<Occurrence> occurrences;
+  /// Shape of the canonical subexpression's result.
+  Shape shape;
+
+  bool IsLse() const { return kind == OptionKind::kLse; }
+  std::string ToString() const;
+};
+
+/// Two options conflict when any pair of their occurrences in the same
+/// block partially overlaps (nesting and disjointness are fine), or when
+/// they share an identical range (both would materialize the same window).
+bool OptionsConflict(const EliminationOption& a, const EliminationOption& b);
+
+}  // namespace remac
+
+#endif  // REMAC_CORE_ELIMINATION_OPTION_H_

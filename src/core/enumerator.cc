@@ -1,0 +1,92 @@
+#include "core/enumerator.h"
+
+#include <chrono>
+#include <deque>
+
+namespace remac {
+
+Result<std::vector<const EliminationOption*>> EnumerateCombinations(
+    const CostGraph& graph, const std::vector<EliminationOption>& options,
+    bool depth_first, int64_t max_evaluations, ProbeReport* report) {
+  const auto start = std::chrono::steady_clock::now();
+  int64_t evaluations = 0;
+
+  std::vector<const EliminationOption*> best_combo;
+  REMAC_ASSIGN_OR_RETURN(CombinationCost base, graph.Evaluate(best_combo));
+  ++evaluations;
+  const double baseline = base.per_iteration_seconds;
+  double best_cost = baseline;
+
+  // Precompute the pairwise conflict matrix once.
+  const size_t n = options.size();
+  std::vector<char> conflict(n * n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (OptionsConflict(options[i], options[j])) {
+        conflict[i * n + j] = conflict[j * n + i] = 1;
+      }
+    }
+  }
+
+  struct State {
+    std::vector<int> picked;  // option indices, ascending
+    int next = 0;
+  };
+
+  auto evaluate_state = [&](const State& state) -> Result<double> {
+    std::vector<const EliminationOption*> combo;
+    combo.reserve(state.picked.size());
+    for (int idx : state.picked) combo.push_back(&options[idx]);
+    REMAC_ASSIGN_OR_RETURN(const CombinationCost cost, graph.Evaluate(combo));
+    ++evaluations;
+    if (cost.per_iteration_seconds < best_cost) {
+      best_cost = cost.per_iteration_seconds;
+      best_combo = std::move(combo);
+    }
+    return cost.per_iteration_seconds;
+  };
+
+  std::deque<State> frontier;
+  frontier.push_back(State{});
+  while (!frontier.empty() && evaluations < max_evaluations) {
+    State state;
+    if (depth_first) {
+      state = std::move(frontier.back());
+      frontier.pop_back();
+    } else {
+      state = std::move(frontier.front());
+      frontier.pop_front();
+    }
+    // Expand: add any later option compatible with the current pick.
+    for (int idx = state.next; idx < static_cast<int>(n); ++idx) {
+      bool ok = true;
+      for (int picked : state.picked) {
+        if (conflict[static_cast<size_t>(picked) * n + idx] != 0) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      State child;
+      child.picked = state.picked;
+      child.picked.push_back(idx);
+      child.next = idx + 1;
+      const auto cost = evaluate_state(child);
+      if (!cost.ok()) continue;
+      frontier.push_back(std::move(child));
+      if (evaluations >= max_evaluations) break;
+    }
+  }
+
+  if (report != nullptr) {
+    report->evaluations = static_cast<int>(evaluations);
+    report->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    report->chosen_cost = best_cost;
+    report->baseline_cost = baseline;
+  }
+  return best_combo;
+}
+
+}  // namespace remac

@@ -1,0 +1,27 @@
+#ifndef REMAC_CORE_ENUMERATOR_H_
+#define REMAC_CORE_ENUMERATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/cost_graph.h"
+#include "core/dp_prober.h"
+#include "core/elimination_option.h"
+
+namespace remac {
+
+/// \brief Brute-force enumeration baseline (paper Section 6.3.3's "Enum"):
+/// walks the subset lattice of elimination options (depth-first or
+/// breadth-first), evaluating every compatible combination it reaches,
+/// and returns the best one found within `max_evaluations`.
+///
+/// Exhaustive when the option set is small; on DFP/BFGS-sized option
+/// sets the budget runs out long before the lattice does — which is the
+/// combinatorial explosion the DP-based probing avoids.
+Result<std::vector<const EliminationOption*>> EnumerateCombinations(
+    const CostGraph& graph, const std::vector<EliminationOption>& options,
+    bool depth_first, int64_t max_evaluations, ProbeReport* report);
+
+}  // namespace remac
+
+#endif  // REMAC_CORE_ENUMERATOR_H_

@@ -1,0 +1,159 @@
+#include "core/strategies.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "cost/physical_model.h"
+
+namespace remac {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Greedily adds options from `ordered` whenever they stay compatible
+/// with everything chosen so far; optionally requires each addition to
+/// not increase the estimated cost.
+Result<std::vector<const EliminationOption*>> GreedyApply(
+    const CostGraph& graph,
+    const std::vector<const EliminationOption*>& ordered,
+    bool require_improvement, ProbeReport* report) {
+  const auto start = Clock::now();
+  int evaluations = 0;
+  std::vector<const EliminationOption*> chosen;
+  REMAC_ASSIGN_OR_RETURN(CombinationCost base, graph.Evaluate(chosen));
+  ++evaluations;
+  const double baseline = base.per_iteration_seconds;
+  double current = baseline;
+  for (const EliminationOption* option : ordered) {
+    bool conflicts = false;
+    for (const EliminationOption* picked : chosen) {
+      if (OptionsConflict(*option, *picked)) {
+        conflicts = true;
+        break;
+      }
+    }
+    if (conflicts) continue;
+    if (!require_improvement && !option->IsLse()) {
+      // Blind modes: a CSE whose every occurrence already lives inside a
+      // chosen temp eliminates nothing further per iteration (the outer
+      // temp is computed once); longest-first ordering makes parents
+      // arrive first, so such fully-shadowed options are skipped.
+      bool shadowed = !option->occurrences.empty();
+      for (const Occurrence& occ : option->occurrences) {
+        bool inside = false;
+        for (const EliminationOption* picked : chosen) {
+          for (const Occurrence& outer : picked->occurrences) {
+            inside = inside || occ.Inside(outer) || occ.SameRange(outer);
+          }
+        }
+        shadowed = shadowed && inside;
+      }
+      if (shadowed) continue;
+    }
+    std::vector<const EliminationOption*> combo = chosen;
+    combo.push_back(option);
+    auto cost = graph.Evaluate(combo);
+    ++evaluations;
+    if (!cost.ok()) continue;
+    if (require_improvement &&
+        cost.value().per_iteration_seconds >= current) {
+      continue;
+    }
+    chosen = std::move(combo);
+    current = cost.value().per_iteration_seconds;
+  }
+  if (report != nullptr) {
+    report->evaluations = evaluations;
+    report->wall_seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    report->chosen_cost = current;
+    report->baseline_cost = baseline;
+  }
+  return chosen;
+}
+
+/// Materializing an option's result must fit the engine's per-object
+/// memory budget; any real system refuses (or crashes on) a temp that is
+/// orders of magnitude larger than its inputs, so even the cost-blind
+/// strategies skip physically infeasible options. (At the paper's scale
+/// a window like "A H" materializes a 58M x 8.7K dense matrix — multiple
+/// terabytes.)
+bool FitsMemory(const CostGraph& graph, const EliminationOption& option) {
+  const Occurrence& occ = option.occurrences.front();
+  const CostedStats& stats =
+      graph.IntervalStats(occ.block_id, occ.begin, occ.end);
+  const double bytes =
+      MatrixBytes(stats.stats.rows, stats.stats.cols, stats.stats.sparsity);
+  const double budget = static_cast<double>(
+      graph.cost_model().cluster().driver_memory_bytes);
+  return bytes <= budget / 4.0;
+}
+
+/// Longest subexpressions first, LSE before CSE on ties (hoisting removes
+/// strictly more work), then by key for determinism.
+bool LongerFirst(const EliminationOption* a, const EliminationOption* b) {
+  const int la = a->occurrences.front().Length();
+  const int lb = b->occurrences.front().Length();
+  if (la != lb) return la > lb;
+  if (a->IsLse() != b->IsLse()) return a->IsLse();
+  return a->key < b->key;
+}
+
+}  // namespace
+
+bool PreservesOriginalOrder(const CostGraph& graph,
+                            const EliminationOption& option) {
+  for (const Occurrence& occ : option.occurrences) {
+    if (!graph.IsOriginalOrderInterval(occ.block_id, occ.begin, occ.end)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<const EliminationOption*>> ConservativePick(
+    const CostGraph& graph, const std::vector<EliminationOption>& options,
+    ProbeReport* report) {
+  std::vector<const EliminationOption*> ordered;
+  for (const auto& opt : options) {
+    if (PreservesOriginalOrder(graph, opt)) ordered.push_back(&opt);
+  }
+  std::sort(ordered.begin(), ordered.end(), LongerFirst);
+  return GreedyApply(graph, ordered, /*require_improvement=*/true, report);
+}
+
+Result<std::vector<const EliminationOption*>> AggressivePick(
+    const CostGraph& graph, const std::vector<EliminationOption>& options,
+    ProbeReport* report) {
+  std::vector<const EliminationOption*> order_changing;
+  std::vector<const EliminationOption*> order_preserving;
+  for (const auto& opt : options) {
+    if (!FitsMemory(graph, opt)) continue;
+    if (PreservesOriginalOrder(graph, opt)) {
+      order_preserving.push_back(&opt);
+    } else {
+      order_changing.push_back(&opt);
+    }
+  }
+  std::sort(order_changing.begin(), order_changing.end(), LongerFirst);
+  std::sort(order_preserving.begin(), order_preserving.end(), LongerFirst);
+  std::vector<const EliminationOption*> ordered = order_changing;
+  ordered.insert(ordered.end(), order_preserving.begin(),
+                 order_preserving.end());
+  return GreedyApply(graph, ordered, /*require_improvement=*/false, report);
+}
+
+Result<std::vector<const EliminationOption*>> AutomaticPick(
+    const CostGraph& graph, const std::vector<EliminationOption>& options,
+    ProbeReport* report) {
+  std::vector<const EliminationOption*> ordered;
+  ordered.reserve(options.size());
+  for (const auto& opt : options) {
+    if (FitsMemory(graph, opt)) ordered.push_back(&opt);
+  }
+  std::sort(ordered.begin(), ordered.end(), LongerFirst);
+  return GreedyApply(graph, ordered, /*require_improvement=*/false, report);
+}
+
+}  // namespace remac

@@ -1,0 +1,43 @@
+#ifndef REMAC_CORE_STRATEGIES_H_
+#define REMAC_CORE_STRATEGIES_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/cost_graph.h"
+#include "core/dp_prober.h"
+#include "core/elimination_option.h"
+
+namespace remac {
+
+/// \brief The conservative strategy (paper Section 6.3.1): applies only
+/// elimination options whose every occurrence is a subtree of the
+/// original (default chain-DP) execution plan — they reuse results
+/// without changing the operator order, so they never hurt.
+Result<std::vector<const EliminationOption*>> ConservativePick(
+    const CostGraph& graph, const std::vector<EliminationOption>& options,
+    ProbeReport* report);
+
+/// \brief The aggressive strategy: applies as many options as possible,
+/// preferring options that change the original execution order (then the
+/// rest), without consulting the cost model — fast on friendly datasets,
+/// disastrous on hostile ones.
+Result<std::vector<const EliminationOption*>> AggressivePick(
+    const CostGraph& graph, const std::vector<EliminationOption>& options,
+    ProbeReport* report);
+
+/// \brief Automatic elimination's blind application (paper Section 6.2):
+/// applies as many found options as fit together, longest subexpressions
+/// first, with no cost adaptivity.
+Result<std::vector<const EliminationOption*>> AutomaticPick(
+    const CostGraph& graph, const std::vector<EliminationOption>& options,
+    ProbeReport* report);
+
+/// True if every occurrence of `option` is an interval of the default
+/// split tree of its block (order-preserving).
+bool PreservesOriginalOrder(const CostGraph& graph,
+                            const EliminationOption& option);
+
+}  // namespace remac
+
+#endif  // REMAC_CORE_STRATEGIES_H_

@@ -1,0 +1,45 @@
+#ifndef REMAC_COST_PHYSICAL_MODEL_H_
+#define REMAC_COST_PHYSICAL_MODEL_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace remac {
+
+/// Pure size/FLOP formulas shared by the optimizer's cost model and the
+/// runtime's simulated-time accounting, so estimated and booked costs are
+/// computed with the same physical model (paper Section 4.2).
+
+/// FLOP count of multiplying (rows_a x cols_a, sparsity sp_a) by
+/// (cols_a x cols_b, sparsity sp_b): 3 * R_U * C_U * C_V * S_U * S_V
+/// (2 for multiply-add, 1 for aggregation; paper Equation 4 discussion).
+inline double MultiplyFlops(double rows_a, double cols_a, double cols_b,
+                            double sp_a, double sp_b) {
+  return 3.0 * rows_a * cols_a * cols_b * sp_a * sp_b;
+}
+
+/// FLOP count of an element-wise binary operator over the non-zeros.
+inline double ElementwiseFlops(double rows, double cols, double sp_out) {
+  return rows * cols * std::min(1.0, sp_out);
+}
+
+/// Serialized size of a matrix given its sparsity, applying the format
+/// rule: dense when sp > 0.4; otherwise CSR with size alpha*sp + beta
+/// (values 8B + column index 4B per non-zero, 8B row pointer per row).
+inline double MatrixBytes(double rows, double cols, double sp) {
+  sp = std::clamp(sp, 0.0, 1.0);
+  if (sp > 0.4) return rows * cols * 8.0;
+  const double alpha = rows * cols * (8.0 + 4.0);
+  const double beta = rows * 8.0 + 16.0;
+  return alpha * sp + beta;
+}
+
+/// Number of block rows/cols for a dimension under a given block size.
+inline int64_t NumBlocks(int64_t dim, int64_t block_size) {
+  if (dim <= 0) return 0;
+  return (dim + block_size - 1) / block_size;
+}
+
+}  // namespace remac
+
+#endif  // REMAC_COST_PHYSICAL_MODEL_H_

@@ -1,0 +1,57 @@
+#ifndef REMAC_DATA_GENERATORS_H_
+#define REMAC_DATA_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "matrix/matrix.h"
+#include "plan/plan_builder.h"
+
+namespace remac {
+
+/// \brief Shape/sparsity recipe for a synthetic dataset.
+///
+/// The paper evaluates on Criteo and Reddit samples (Table 2). The
+/// originals are 30-40GB click/comment logs; here we generate matrices
+/// with the same shape class (tall-thin dense vs. tall sparse vs. "fat"
+/// sparse) and sparsity at laptop scale (rows divided by ~1000), which
+/// preserves every effect the experiments measure (see DESIGN.md).
+struct DatasetSpec {
+  std::string name;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  double sparsity = 1.0;
+  /// Zipf exponents of the row/column marginals of the non-zeros
+  /// (0 = uniform). Real CTR/comment data is power-law skewed, so the
+  /// Table-2 sparse datasets default to a mild skew.
+  double zipf_rows = 0.0;
+  double zipf_cols = 0.0;
+  uint64_t seed = 42;
+};
+
+/// The six Table-2 datasets, scaled: cri1, cri2, cri3, red1, red2, red3.
+std::vector<DatasetSpec> PaperDatasetSpecs();
+
+/// Lookup by abbreviation ("cri2"); error if unknown.
+Result<DatasetSpec> PaperDatasetSpec(const std::string& name);
+
+/// A cri2-shaped dataset skewed with the given Zipf exponent on both
+/// rows and columns, named "zipf-<e>" (Section 6.5).
+DatasetSpec ZipfSpec(double exponent);
+
+/// Generates the matrix of a spec (deterministic per seed).
+Matrix GenerateMatrix(const DatasetSpec& spec);
+
+/// Registers the dataset plus its derived inputs into the catalog:
+///   <name>     the data matrix A
+///   <name>_b   a label vector A * w + noise (regression targets)
+/// and, when `with_partial_dfp_inputs` is set,
+///   <name>_pd  a random n x 1 direction vector
+///   <name>_pH  a random n x n matrix (partial-DFP's H)
+Status RegisterDataset(DataCatalog* catalog, const DatasetSpec& spec,
+                       bool with_partial_dfp_inputs = false);
+
+}  // namespace remac
+
+#endif  // REMAC_DATA_GENERATORS_H_

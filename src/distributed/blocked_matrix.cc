@@ -1,0 +1,76 @@
+#include "distributed/blocked_matrix.h"
+
+#include <cassert>
+
+#include "cost/physical_model.h"
+
+namespace remac {
+
+BlockedMatrix BlockedMatrix::Partition(Matrix data, const ClusterModel& model) {
+  BlockedMatrix b;
+  b.block_size_ = model.block_size;
+  b.grid_rows_ = NumBlocks(data.rows(), model.block_size);
+  b.grid_cols_ = NumBlocks(data.cols(), model.block_size);
+  b.block_nnz_.assign(static_cast<size_t>(b.grid_rows_ * b.grid_cols_), 0);
+  const int64_t bs = model.block_size;
+  if (data.is_dense()) {
+    const DenseMatrix& d = data.dense();
+    for (int64_t r = 0; r < d.rows(); ++r) {
+      const int64_t br = r / bs;
+      for (int64_t c = 0; c < d.cols(); ++c) {
+        if (d.At(r, c) != 0.0) {
+          ++b.block_nnz_[static_cast<size_t>(br * b.grid_cols_ + c / bs)];
+        }
+      }
+    }
+  } else {
+    const CsrMatrix& s = data.csr();
+    for (int64_t r = 0; r < s.rows(); ++r) {
+      const int64_t br = r / bs;
+      for (int64_t p = s.row_ptr()[r]; p < s.row_ptr()[r + 1]; ++p) {
+        const int64_t bc = s.col_idx()[p] / bs;
+        ++b.block_nnz_[static_cast<size_t>(br * b.grid_cols_ + bc)];
+      }
+    }
+  }
+  b.data_ = std::move(data);
+  return b;
+}
+
+double BlockedMatrix::BlockBytes(int64_t br, int64_t bc) const {
+  assert(br >= 0 && br < grid_rows_ && bc >= 0 && bc < grid_cols_);
+  const int64_t block_rows =
+      std::min(block_size_, data_.rows() - br * block_size_);
+  const int64_t block_cols =
+      std::min(block_size_, data_.cols() - bc * block_size_);
+  const int64_t cells = block_rows * block_cols;
+  if (cells == 0) return 0.0;
+  const double sp =
+      static_cast<double>(BlockNnz(br, bc)) / static_cast<double>(cells);
+  return MatrixBytes(static_cast<double>(block_rows),
+                     static_cast<double>(block_cols), sp);
+}
+
+double BlockedMatrix::TotalBytes() const {
+  double total = 0.0;
+  for (int64_t br = 0; br < grid_rows_; ++br) {
+    for (int64_t bc = 0; bc < grid_cols_; ++bc) {
+      total += BlockBytes(br, bc);
+    }
+  }
+  return total;
+}
+
+std::vector<double> BlockedMatrix::PerWorkerBytes(
+    const HashPartitioner& partitioner) const {
+  std::vector<double> weights;
+  weights.reserve(static_cast<size_t>(num_blocks()));
+  for (int64_t br = 0; br < grid_rows_; ++br) {
+    for (int64_t bc = 0; bc < grid_cols_; ++bc) {
+      weights.push_back(BlockBytes(br, bc));
+    }
+  }
+  return partitioner.WorkerLoads(weights, grid_cols_ == 0 ? 1 : grid_cols_);
+}
+
+}  // namespace remac

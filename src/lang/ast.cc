@@ -1,0 +1,157 @@
+#include "lang/ast.h"
+
+#include "common/string_util.h"
+
+namespace remac {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kElemMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMatMul: return "%*%";
+    case BinaryOp::kLess: return "<";
+    case BinaryOp::kGreater: return ">";
+    case BinaryOp::kLessEq: return "<=";
+    case BinaryOp::kGreaterEq: return ">=";
+    case BinaryOp::kEqual: return "==";
+    case BinaryOp::kNotEqual: return "!=";
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> Expr::Ident(std::string name, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIdentifier;
+  e->name = std::move(name);
+  e->line = line;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Number(double value, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kNumber;
+  e->number = value;
+  e->line = line;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Str(std::string value, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kString;
+  e->name = std::move(value);
+  e->line = line;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Call(std::string name,
+                                 std::vector<std::unique_ptr<Expr>> args,
+                                 int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCall;
+  e->name = std::move(name);
+  e->children = std::move(args);
+  e->line = line;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Binary(BinaryOp op, std::unique_ptr<Expr> lhs,
+                                   std::unique_ptr<Expr> rhs, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  e->line = line;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Neg(std::unique_ptr<Expr> operand, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnaryMinus;
+  e->children.push_back(std::move(operand));
+  e->line = line;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->name = name;
+  e->number = number;
+  e->op = op;
+  e->line = line;
+  e->children.reserve(children.size());
+  for (const auto& child : children) e->children.push_back(child->Clone());
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kIdentifier:
+      return name;
+    case ExprKind::kNumber:
+      return StringFormat("%g", number);
+    case ExprKind::kString:
+      return "\"" + name + "\"";
+    case ExprKind::kCall: {
+      std::vector<std::string> args;
+      args.reserve(children.size());
+      for (const auto& child : children) args.push_back(child->ToString());
+      return name + "(" + Join(args, ", ") + ")";
+    }
+    case ExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " + BinaryOpName(op) + " " +
+             children[1]->ToString() + ")";
+    case ExprKind::kUnaryMinus:
+      return "(-" + children[0]->ToString() + ")";
+  }
+  return "?";
+}
+
+std::unique_ptr<Stmt> Stmt::Clone() const {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  s->target = target;
+  s->value = value ? value->Clone() : nullptr;
+  s->condition = condition ? condition->Clone() : nullptr;
+  s->loop_var = loop_var;
+  s->range_begin = range_begin ? range_begin->Clone() : nullptr;
+  s->range_end = range_end ? range_end->Clone() : nullptr;
+  s->line = line;
+  s->body.reserve(body.size());
+  for (const auto& stmt : body) s->body.push_back(stmt->Clone());
+  return s;
+}
+
+std::string Stmt::ToString(int indent) const {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (kind) {
+    case StmtKind::kAssign:
+      return pad + target + " = " + value->ToString() + ";\n";
+    case StmtKind::kWhile: {
+      std::string out = pad + "while (" + condition->ToString() + ") {\n";
+      for (const auto& stmt : body) out += stmt->ToString(indent + 1);
+      out += pad + "}\n";
+      return out;
+    }
+    case StmtKind::kFor: {
+      std::string out = pad + "for (" + loop_var + " in " +
+                        range_begin->ToString() + ":" +
+                        range_end->ToString() + ") {\n";
+      for (const auto& stmt : body) out += stmt->ToString(indent + 1);
+      out += pad + "}\n";
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const auto& stmt : statements) out += stmt->ToString();
+  return out;
+}
+
+}  // namespace remac

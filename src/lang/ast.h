@@ -1,0 +1,101 @@
+#ifndef REMAC_LANG_AST_H_
+#define REMAC_LANG_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace remac {
+
+/// Expression node kinds of the script AST.
+enum class ExprKind {
+  kIdentifier,
+  kNumber,
+  kString,
+  kCall,     // builtin: read, t, zeros, ones, eye, rand, ncol, nrow, sum, norm
+  kBinary,   // + - * / %*% < > <= >= == !=
+  kUnaryMinus,
+};
+
+/// Binary operators as they appear in scripts.
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kElemMul,   // *
+  kDiv,       // /
+  kMatMul,    // %*%
+  kLess,
+  kGreater,
+  kLessEq,
+  kGreaterEq,
+  kEqual,
+  kNotEqual,
+};
+
+const char* BinaryOpName(BinaryOp op);
+
+/// \brief A node of the script expression tree.
+///
+/// Plain tree-of-unique_ptr structure; the plan builder lowers it into the
+/// operator DAG. Kept deliberately dumb: no typing here.
+struct Expr {
+  ExprKind kind;
+  // kIdentifier / kCall: the name; kString: the literal.
+  std::string name;
+  // kNumber.
+  double number = 0.0;
+  // kBinary.
+  BinaryOp op = BinaryOp::kAdd;
+  // kCall arguments, kBinary operands (2), kUnaryMinus operand (1).
+  std::vector<std::unique_ptr<Expr>> children;
+  int line = 0;
+
+  static std::unique_ptr<Expr> Ident(std::string name, int line = 0);
+  static std::unique_ptr<Expr> Number(double value, int line = 0);
+  static std::unique_ptr<Expr> Str(std::string value, int line = 0);
+  static std::unique_ptr<Expr> Call(std::string name,
+                                    std::vector<std::unique_ptr<Expr>> args,
+                                    int line = 0);
+  static std::unique_ptr<Expr> Binary(BinaryOp op, std::unique_ptr<Expr> lhs,
+                                      std::unique_ptr<Expr> rhs, int line = 0);
+  static std::unique_ptr<Expr> Neg(std::unique_ptr<Expr> operand,
+                                   int line = 0);
+
+  /// Deep copy.
+  std::unique_ptr<Expr> Clone() const;
+
+  /// Unparses to script syntax (stable, fully parenthesized).
+  std::string ToString() const;
+};
+
+/// Statement kinds.
+enum class StmtKind { kAssign, kWhile, kFor };
+
+/// \brief A statement: an assignment or a loop with a body.
+struct Stmt {
+  StmtKind kind;
+  // kAssign.
+  std::string target;
+  std::unique_ptr<Expr> value;
+  // kWhile: condition; kFor: loop variable in [range_begin, range_end].
+  std::unique_ptr<Expr> condition;
+  std::string loop_var;
+  std::unique_ptr<Expr> range_begin;
+  std::unique_ptr<Expr> range_end;
+  std::vector<std::unique_ptr<Stmt>> body;
+  int line = 0;
+
+  std::unique_ptr<Stmt> Clone() const;
+  std::string ToString(int indent = 0) const;
+};
+
+/// \brief A parsed script: a statement list.
+struct Program {
+  std::vector<std::unique_ptr<Stmt>> statements;
+
+  std::string ToString() const;
+};
+
+}  // namespace remac
+
+#endif  // REMAC_LANG_AST_H_

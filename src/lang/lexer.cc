@@ -1,0 +1,177 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace remac {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kString: return "string";
+    case TokenKind::kMatMul: return "'%*%'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kGreater: return "'>'";
+    case TokenKind::kLessEq: return "'<='";
+    case TokenKind::kGreaterEq: return "'>='";
+    case TokenKind::kEqual: return "'=='";
+    case TokenKind::kNotEqual: return "'!='";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kKeywordWhile: return "'while'";
+    case TokenKind::kKeywordFor: return "'for'";
+    case TokenKind::kKeywordIn: return "'in'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int col = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto push = [&](TokenKind kind, std::string text, double number = 0.0) {
+    tokens.push_back(Token{kind, std::move(text), number, line, col});
+  };
+  auto error = [&](const std::string& what) {
+    return Status::ParseError(
+        StringFormat("line %d:%d: %s", line, col, what.c_str()));
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      col = 1;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++col;
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(source[j])) ||
+                       source[j] == '_' || source[j] == '.')) {
+        ++j;
+      }
+      std::string word(source.substr(i, j - i));
+      if (word == "while") {
+        push(TokenKind::kKeywordWhile, word);
+      } else if (word == "for") {
+        push(TokenKind::kKeywordFor, word);
+      } else if (word == "in") {
+        push(TokenKind::kKeywordIn, word);
+      } else {
+        push(TokenKind::kIdentifier, word);
+      }
+      col += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      size_t j = i;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(source[j])) ||
+                       source[j] == '.' || source[j] == 'e' || source[j] == 'E' ||
+                       ((source[j] == '+' || source[j] == '-') && j > i &&
+                        (source[j - 1] == 'e' || source[j - 1] == 'E')))) {
+        ++j;
+      }
+      std::string text(source.substr(i, j - i));
+      char* endptr = nullptr;
+      const double value = std::strtod(text.c_str(), &endptr);
+      if (endptr == nullptr || *endptr != '\0') {
+        return error("malformed number '" + text + "'");
+      }
+      push(TokenKind::kNumber, std::move(text), value);
+      col += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+    if (c == '"') {
+      size_t j = i + 1;
+      while (j < n && source[j] != '"' && source[j] != '\n') ++j;
+      if (j >= n || source[j] != '"') return error("unterminated string");
+      push(TokenKind::kString, std::string(source.substr(i + 1, j - i - 1)));
+      col += static_cast<int>(j - i + 1);
+      i = j + 1;
+      continue;
+    }
+    if (c == '%') {
+      if (i + 2 < n && source[i + 1] == '*' && source[i + 2] == '%') {
+        push(TokenKind::kMatMul, "%*%");
+        i += 3;
+        col += 3;
+        continue;
+      }
+      return error("stray '%' (did you mean '%*%'?)");
+    }
+    auto two = [&](char second, TokenKind pair_kind,
+                   TokenKind single_kind) -> bool {
+      if (i + 1 < n && source[i + 1] == second) {
+        push(pair_kind, std::string{c, second});
+        i += 2;
+        col += 2;
+        return true;
+      }
+      push(single_kind, std::string(1, c));
+      ++i;
+      ++col;
+      return true;
+    };
+    switch (c) {
+      case '+': push(TokenKind::kPlus, "+"); ++i; ++col; continue;
+      case '-': push(TokenKind::kMinus, "-"); ++i; ++col; continue;
+      case '*': push(TokenKind::kStar, "*"); ++i; ++col; continue;
+      case '/': push(TokenKind::kSlash, "/"); ++i; ++col; continue;
+      case '(': push(TokenKind::kLParen, "("); ++i; ++col; continue;
+      case ')': push(TokenKind::kRParen, ")"); ++i; ++col; continue;
+      case '{': push(TokenKind::kLBrace, "{"); ++i; ++col; continue;
+      case '}': push(TokenKind::kRBrace, "}"); ++i; ++col; continue;
+      case ',': push(TokenKind::kComma, ","); ++i; ++col; continue;
+      case ';': push(TokenKind::kSemicolon, ";"); ++i; ++col; continue;
+      case ':': push(TokenKind::kColon, ":"); ++i; ++col; continue;
+      case '=': two('=', TokenKind::kEqual, TokenKind::kAssign); continue;
+      case '<': two('=', TokenKind::kLessEq, TokenKind::kLess); continue;
+      case '>': two('=', TokenKind::kGreaterEq, TokenKind::kGreater); continue;
+      case '!':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kNotEqual, "!=");
+          i += 2;
+          col += 2;
+          continue;
+        }
+        return error("stray '!'");
+      default:
+        return error(StringFormat("unexpected character '%c'", c));
+    }
+  }
+  push(TokenKind::kEnd, "");
+  return tokens;
+}
+
+}  // namespace remac

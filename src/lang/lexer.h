@@ -1,0 +1,61 @@
+#ifndef REMAC_LANG_LEXER_H_
+#define REMAC_LANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace remac {
+
+/// Token categories of the DML-like script language.
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kString,
+  kMatMul,      // %*%
+  kPlus,        // +
+  kMinus,       // -
+  kStar,        // *
+  kSlash,       // /
+  kAssign,      // =
+  kLess,        // <
+  kGreater,     // >
+  kLessEq,      // <=
+  kGreaterEq,   // >=
+  kEqual,       // ==
+  kNotEqual,    // !=
+  kLParen,      // (
+  kRParen,      // )
+  kLBrace,      // {
+  kRBrace,      // }
+  kComma,       // ,
+  kSemicolon,   // ;
+  kKeywordWhile,
+  kKeywordFor,
+  kKeywordIn,
+  kColon,       // :
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  double number = 0.0;  // valid when kind == kNumber
+  int line = 0;
+  int column = 0;
+};
+
+/// \brief Tokenizes a script. '#' starts a comment to end of line.
+///
+/// Numbers are doubles ("2", "0.5", "1e-4"); strings are double-quoted
+/// with no escape sequences (they only name datasets in read()).
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+/// Human-readable token kind name for diagnostics.
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace remac
+
+#endif  // REMAC_LANG_LEXER_H_

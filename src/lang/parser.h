@@ -1,0 +1,32 @@
+#ifndef REMAC_LANG_PARSER_H_
+#define REMAC_LANG_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "lang/ast.h"
+
+namespace remac {
+
+/// Parses a DML-like script into a Program.
+///
+/// Grammar (statements end with ';'; '#' comments):
+///
+///   program   := stmt*
+///   stmt      := ident '=' expr ';'
+///              | 'while' '(' expr ')' '{' stmt* '}'
+///              | 'for' '(' ident 'in' expr ':' expr ')' '{' stmt* '}'
+///   expr      := cmp
+///   cmp       := addsub (('<'|'>'|'<='|'>='|'=='|'!=') addsub)?
+///   addsub    := muldiv (('+'|'-') muldiv)*
+///   muldiv    := unary (('*'|'/'|'%*%') unary)*
+///   unary     := '-' unary | primary
+///   primary   := number | string | ident ('(' args ')')? | '(' expr ')'
+Result<Program> ParseProgram(std::string_view source);
+
+/// Parses a single expression (used in tests and by baseline optimizers).
+Result<std::unique_ptr<Expr>> ParseExpression(std::string_view source);
+
+}  // namespace remac
+
+#endif  // REMAC_LANG_PARSER_H_

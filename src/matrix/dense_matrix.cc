@@ -1,0 +1,51 @@
+#include "matrix/dense_matrix.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace remac {
+
+DenseMatrix::DenseMatrix(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols), values_(static_cast<size_t>(rows * cols)) {
+  assert(rows >= 0 && cols >= 0);
+}
+
+DenseMatrix::DenseMatrix(int64_t rows, int64_t cols,
+                         std::vector<double> values)
+    : rows_(rows), cols_(cols), values_(std::move(values)) {
+  assert(static_cast<int64_t>(values_.size()) == rows * cols);
+}
+
+DenseMatrix DenseMatrix::Identity(int64_t n) {
+  DenseMatrix m(n, n);
+  for (int64_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+int64_t DenseMatrix::CountNonZeros() const {
+  int64_t nnz = 0;
+  for (double v : values_) {
+    if (v != 0.0) ++nnz;
+  }
+  return nnz;
+}
+
+double DenseMatrix::Sparsity() const {
+  if (rows_ == 0 || cols_ == 0) return 0.0;
+  return static_cast<double>(CountNonZeros()) /
+         static_cast<double>(rows_ * cols_);
+}
+
+bool DenseMatrix::ApproxEquals(const DenseMatrix& other,
+                               double tolerance) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    const double diff = std::fabs(values_[i] - other.values_[i]);
+    const double scale =
+        std::max(1.0, std::max(std::fabs(values_[i]), std::fabs(other.values_[i])));
+    if (diff > tolerance * scale) return false;
+  }
+  return true;
+}
+
+}  // namespace remac

@@ -1,0 +1,58 @@
+#ifndef REMAC_MATRIX_DENSE_MATRIX_H_
+#define REMAC_MATRIX_DENSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace remac {
+
+/// \brief Row-major dense matrix of doubles.
+///
+/// A plain value type: copyable and movable. Bounds are checked with
+/// assertions in debug builds only; hot paths index the raw buffer.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(int64_t rows, int64_t cols);
+  DenseMatrix(int64_t rows, int64_t cols, std::vector<double> values);
+
+  DenseMatrix(const DenseMatrix&) = default;
+  DenseMatrix& operator=(const DenseMatrix&) = default;
+  DenseMatrix(DenseMatrix&&) = default;
+  DenseMatrix& operator=(DenseMatrix&&) = default;
+
+  /// Identity matrix of size n x n.
+  static DenseMatrix Identity(int64_t n);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+
+  double& At(int64_t r, int64_t c) { return values_[r * cols_ + c]; }
+  double At(int64_t r, int64_t c) const { return values_[r * cols_ + c]; }
+
+  double* data() { return values_.data(); }
+  const double* data() const { return values_.data(); }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Number of non-zero entries (exact scan).
+  int64_t CountNonZeros() const;
+
+  /// Fraction of non-zero entries; 0 for an empty matrix.
+  double Sparsity() const;
+
+  /// Memory footprint of the dense representation in bytes.
+  int64_t SizeInBytes() const { return rows_ * cols_ * 8 + 16; }
+
+  /// Element-wise equality within `tolerance`.
+  bool ApproxEquals(const DenseMatrix& other, double tolerance = 1e-9) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<double> values_;
+};
+
+}  // namespace remac
+
+#endif  // REMAC_MATRIX_DENSE_MATRIX_H_

@@ -1,0 +1,376 @@
+#include "matrix/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace remac {
+
+namespace {
+
+std::atomic<int> g_kernel_threads{0};
+
+Status ShapeError(const char* op, const Matrix& a, const Matrix& b) {
+  return Status::DimensionMismatch(StringFormat(
+      "%s: (%lld x %lld) vs (%lld x %lld)", op,
+      static_cast<long long>(a.rows()), static_cast<long long>(a.cols()),
+      static_cast<long long>(b.rows()), static_cast<long long>(b.cols())));
+}
+
+/// Runs fn(first_row, last_row) across KernelThreads() workers.
+void ParallelForRows(int64_t rows, const std::function<void(int64_t, int64_t)>& fn) {
+  const int threads = KernelThreads();
+  if (threads <= 1 || rows < 256) {
+    fn(0, rows);
+    return;
+  }
+  const int64_t chunk = (rows + threads - 1) / threads;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    const int64_t begin = t * chunk;
+    const int64_t end = std::min(rows, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (auto& th : pool) th.join();
+}
+
+DenseMatrix MultiplyDenseDense(const DenseMatrix& a, const DenseMatrix& b) {
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  DenseMatrix c(m, n);
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* pc = c.data();
+  ParallelForRows(m, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      double* ci = pc + i * n;
+      const double* ai = pa + i * k;
+      for (int64_t j = 0; j < k; ++j) {
+        const double v = ai[j];
+        if (v == 0.0) continue;
+        const double* bj = pb + j * n;
+        for (int64_t x = 0; x < n; ++x) ci[x] += v * bj[x];
+      }
+    }
+  });
+  return c;
+}
+
+DenseMatrix MultiplySparseDense(const CsrMatrix& a, const DenseMatrix& b) {
+  const int64_t m = a.rows();
+  const int64_t n = b.cols();
+  DenseMatrix c(m, n);
+  const double* pb = b.data();
+  double* pc = c.data();
+  ParallelForRows(m, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      double* ci = pc + i * n;
+      for (int64_t p = a.row_ptr()[i]; p < a.row_ptr()[i + 1]; ++p) {
+        const double v = a.values()[p];
+        const double* bj = pb + static_cast<int64_t>(a.col_idx()[p]) * n;
+        for (int64_t x = 0; x < n; ++x) ci[x] += v * bj[x];
+      }
+    }
+  });
+  return c;
+}
+
+DenseMatrix MultiplyDenseSparse(const DenseMatrix& a, const CsrMatrix& b) {
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  DenseMatrix c(m, n);
+  const double* pa = a.data();
+  double* pc = c.data();
+  ParallelForRows(m, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      double* ci = pc + i * n;
+      const double* ai = pa + i * k;
+      for (int64_t j = 0; j < k; ++j) {
+        const double v = ai[j];
+        if (v == 0.0) continue;
+        for (int64_t p = b.row_ptr()[j]; p < b.row_ptr()[j + 1]; ++p) {
+          ci[b.col_idx()[p]] += v * b.values()[p];
+        }
+      }
+    }
+  });
+  return c;
+}
+
+CsrMatrix MultiplySparseSparse(const CsrMatrix& a, const CsrMatrix& b) {
+  // Gustavson's algorithm with a dense accumulator per output row.
+  const int64_t m = a.rows();
+  const int64_t n = b.cols();
+  std::vector<std::vector<int64_t>> row_ptr_parts;
+  CsrMatrix c(m, n);
+  auto& row_ptr = c.mutable_row_ptr();
+  // First pass per thread-range into local buffers, then stitch.
+  const int threads = std::max(1, KernelThreads());
+  const int64_t chunk = (m + threads - 1) / threads;
+  struct Part {
+    std::vector<int32_t> cols;
+    std::vector<double> vals;
+    std::vector<int64_t> row_nnz;
+  };
+  std::vector<Part> parts(static_cast<size_t>(threads));
+  ParallelForRows(m, [&](int64_t r0, int64_t r1) {
+    const int tid = static_cast<int>(r0 / std::max<int64_t>(1, chunk));
+    Part& part = parts[static_cast<size_t>(std::min(tid, threads - 1))];
+    std::vector<double> acc(static_cast<size_t>(n), 0.0);
+    std::vector<int32_t> touched;
+    for (int64_t i = r0; i < r1; ++i) {
+      touched.clear();
+      for (int64_t p = a.row_ptr()[i]; p < a.row_ptr()[i + 1]; ++p) {
+        const double va = a.values()[p];
+        const int64_t j = a.col_idx()[p];
+        for (int64_t q = b.row_ptr()[j]; q < b.row_ptr()[j + 1]; ++q) {
+          const int32_t col = b.col_idx()[q];
+          if (acc[col] == 0.0) touched.push_back(col);
+          acc[col] += va * b.values()[q];
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      int64_t nnz_row = 0;
+      for (int32_t col : touched) {
+        if (acc[col] != 0.0) {
+          part.cols.push_back(col);
+          part.vals.push_back(acc[col]);
+          ++nnz_row;
+        }
+        acc[col] = 0.0;
+      }
+      part.row_nnz.push_back(nnz_row);
+    }
+  });
+  // Stitch parts in row order.
+  auto& out_cols = c.mutable_col_idx();
+  auto& out_vals = c.mutable_values();
+  int64_t row = 0;
+  for (const Part& part : parts) {
+    for (int64_t nnz_row : part.row_nnz) {
+      row_ptr[row + 1] = row_ptr[row] + nnz_row;
+      ++row;
+    }
+    out_cols.insert(out_cols.end(), part.cols.begin(), part.cols.end());
+    out_vals.insert(out_vals.end(), part.vals.begin(), part.vals.end());
+  }
+  for (; row < m; ++row) row_ptr[row + 1] = row_ptr[row];
+  return c;
+}
+
+CsrMatrix TransposeCsr(const CsrMatrix& a) {
+  const int64_t m = a.rows();
+  const int64_t n = a.cols();
+  CsrMatrix t(n, m);
+  auto& row_ptr = t.mutable_row_ptr();
+  auto& col_idx = t.mutable_col_idx();
+  auto& values = t.mutable_values();
+  col_idx.resize(static_cast<size_t>(a.nnz()));
+  values.resize(static_cast<size_t>(a.nnz()));
+  // Counting sort by column.
+  for (int32_t c : a.col_idx()) ++row_ptr[c + 1];
+  for (int64_t i = 0; i < n; ++i) row_ptr[i + 1] += row_ptr[i];
+  std::vector<int64_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (int64_t r = 0; r < m; ++r) {
+    for (int64_t p = a.row_ptr()[r]; p < a.row_ptr()[r + 1]; ++p) {
+      const int64_t dst = cursor[a.col_idx()[p]]++;
+      col_idx[dst] = static_cast<int32_t>(r);
+      values[dst] = a.values()[p];
+    }
+  }
+  return t;
+}
+
+DenseMatrix TransposeDense(const DenseMatrix& a) {
+  DenseMatrix t(a.cols(), a.rows());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      t.At(c, r) = a.At(r, c);
+    }
+  }
+  return t;
+}
+
+template <typename Op>
+Result<Matrix> ElementwiseBinary(const char* name, const Matrix& a,
+                                 const Matrix& b, Op op,
+                                 bool zero_zero_is_zero) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return ShapeError(name, a, b);
+  }
+  if (!a.is_dense() && !b.is_dense() && zero_zero_is_zero) {
+    // Sparse-safe op: merge the two CSR row lists.
+    const CsrMatrix& sa = a.csr();
+    const CsrMatrix& sb = b.csr();
+    CsrMatrix out(a.rows(), a.cols());
+    auto& row_ptr = out.mutable_row_ptr();
+    auto& cols = out.mutable_col_idx();
+    auto& vals = out.mutable_values();
+    for (int64_t r = 0; r < a.rows(); ++r) {
+      int64_t pa = sa.row_ptr()[r];
+      int64_t pb = sb.row_ptr()[r];
+      const int64_t ea = sa.row_ptr()[r + 1];
+      const int64_t eb = sb.row_ptr()[r + 1];
+      while (pa < ea || pb < eb) {
+        const int32_t ca = pa < ea ? sa.col_idx()[pa] : INT32_MAX;
+        const int32_t cb = pb < eb ? sb.col_idx()[pb] : INT32_MAX;
+        const int32_t col = std::min(ca, cb);
+        double va = 0.0;
+        double vb = 0.0;
+        if (ca == col) va = sa.values()[pa++];
+        if (cb == col) vb = sb.values()[pb++];
+        const double v = op(va, vb);
+        if (v != 0.0) {
+          cols.push_back(col);
+          vals.push_back(v);
+        }
+      }
+      row_ptr[r + 1] = static_cast<int64_t>(vals.size());
+    }
+    return Matrix::FromCsr(std::move(out));
+  }
+  DenseMatrix da = a.ToDense();
+  const DenseMatrix db = b.ToDense();
+  double* pa = da.data();
+  const double* pb = db.data();
+  const int64_t total = da.size();
+  for (int64_t i = 0; i < total; ++i) pa[i] = op(pa[i], pb[i]);
+  return Matrix::FromDense(std::move(da));
+}
+
+}  // namespace
+
+int KernelThreads() {
+  const int override_threads = g_kernel_threads.load(std::memory_order_relaxed);
+  if (override_threads > 0) return override_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(std::min(hw, 16u));
+}
+
+void SetKernelThreads(int threads) {
+  g_kernel_threads.store(threads, std::memory_order_relaxed);
+}
+
+Result<Matrix> Multiply(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) return ShapeError("multiply", a, b);
+  if (a.is_dense() && b.is_dense()) {
+    return Matrix::FromDense(MultiplyDenseDense(a.dense(), b.dense()));
+  }
+  if (!a.is_dense() && b.is_dense()) {
+    return Matrix::FromDense(MultiplySparseDense(a.csr(), b.dense()));
+  }
+  if (a.is_dense() && !b.is_dense()) {
+    return Matrix::FromDense(MultiplyDenseSparse(a.dense(), b.csr()));
+  }
+  return Matrix::FromCsr(MultiplySparseSparse(a.csr(), b.csr()));
+}
+
+Matrix Transpose(const Matrix& a) {
+  if (a.is_dense()) return Matrix::WrapDense(TransposeDense(a.dense()));
+  return Matrix::WrapCsr(TransposeCsr(a.csr()));
+}
+
+Result<Matrix> Add(const Matrix& a, const Matrix& b) {
+  return ElementwiseBinary(
+      "add", a, b, [](double x, double y) { return x + y; },
+      /*zero_zero_is_zero=*/true);
+}
+
+Result<Matrix> Subtract(const Matrix& a, const Matrix& b) {
+  return ElementwiseBinary(
+      "subtract", a, b, [](double x, double y) { return x - y; },
+      /*zero_zero_is_zero=*/true);
+}
+
+Result<Matrix> ElementwiseMultiply(const Matrix& a, const Matrix& b) {
+  return ElementwiseBinary(
+      "elementwise multiply", a, b, [](double x, double y) { return x * y; },
+      /*zero_zero_is_zero=*/true);
+}
+
+Result<Matrix> ElementwiseDivide(const Matrix& a, const Matrix& b) {
+  return ElementwiseBinary(
+      "elementwise divide", a, b,
+      [](double x, double y) { return y == 0.0 ? 0.0 : x / y; },
+      /*zero_zero_is_zero=*/true);
+}
+
+Matrix ScalarMultiply(const Matrix& a, double s) {
+  if (a.is_dense()) {
+    DenseMatrix d = a.dense();
+    for (int64_t i = 0; i < d.size(); ++i) d.data()[i] *= s;
+    return Matrix::FromDense(std::move(d));
+  }
+  CsrMatrix c = a.csr();
+  for (auto& v : c.mutable_values()) v *= s;
+  return Matrix::FromCsr(std::move(c));
+}
+
+Matrix ScalarAdd(const Matrix& a, double s) {
+  DenseMatrix d = a.ToDense();
+  for (int64_t i = 0; i < d.size(); ++i) d.data()[i] += s;
+  return Matrix::FromDense(std::move(d));
+}
+
+Matrix Negate(const Matrix& a) { return ScalarMultiply(a, -1.0); }
+
+double SumAll(const Matrix& a) {
+  double total = 0.0;
+  if (a.is_dense()) {
+    for (int64_t i = 0; i < a.dense().size(); ++i) total += a.dense().data()[i];
+  } else {
+    for (double v : a.csr().values()) total += v;
+  }
+  return total;
+}
+
+double FrobeniusNorm(const Matrix& a) {
+  double total = 0.0;
+  if (a.is_dense()) {
+    for (int64_t i = 0; i < a.dense().size(); ++i) {
+      const double v = a.dense().data()[i];
+      total += v * v;
+    }
+  } else {
+    for (double v : a.csr().values()) total += v * v;
+  }
+  return std::sqrt(total);
+}
+
+Result<int64_t> MultiplyNnzExact(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) return ShapeError("multiply-nnz", a, b);
+  const CsrMatrix sa = a.ToCsr();
+  const CsrMatrix sb = b.ToCsr();
+  std::vector<char> seen(static_cast<size_t>(b.cols()), 0);
+  std::vector<int32_t> touched;
+  int64_t nnz = 0;
+  for (int64_t i = 0; i < sa.rows(); ++i) {
+    touched.clear();
+    for (int64_t p = sa.row_ptr()[i]; p < sa.row_ptr()[i + 1]; ++p) {
+      const int64_t j = sa.col_idx()[p];
+      for (int64_t q = sb.row_ptr()[j]; q < sb.row_ptr()[j + 1]; ++q) {
+        const int32_t col = sb.col_idx()[q];
+        if (!seen[col]) {
+          seen[col] = 1;
+          touched.push_back(col);
+        }
+      }
+    }
+    nnz += static_cast<int64_t>(touched.size());
+    for (int32_t col : touched) seen[col] = 0;
+  }
+  return nnz;
+}
+
+}  // namespace remac

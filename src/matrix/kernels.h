@@ -1,0 +1,61 @@
+#ifndef REMAC_MATRIX_KERNELS_H_
+#define REMAC_MATRIX_KERNELS_H_
+
+#include "common/status.h"
+#include "matrix/matrix.h"
+
+namespace remac {
+
+/// Local (single-node) matrix kernels. All binary kernels validate
+/// dimensions and return DimensionMismatch on incompatible shapes.
+///
+/// Format selection: results involving a dense operand are computed
+/// densely; sparse x sparse uses a Gustavson row-merge. Output wrappers
+/// re-normalize the storage format from the actual result sparsity.
+
+/// C = A * B (matrix multiplication).
+Result<Matrix> Multiply(const Matrix& a, const Matrix& b);
+
+/// C = A^T.
+Matrix Transpose(const Matrix& a);
+
+/// C = A + B.
+Result<Matrix> Add(const Matrix& a, const Matrix& b);
+
+/// C = A - B.
+Result<Matrix> Subtract(const Matrix& a, const Matrix& b);
+
+/// C = A .* B (element-wise product).
+Result<Matrix> ElementwiseMultiply(const Matrix& a, const Matrix& b);
+
+/// C = A ./ B (element-wise quotient; zero denominators yield 0 to match
+/// the "safe divide" semantics of ML systems).
+Result<Matrix> ElementwiseDivide(const Matrix& a, const Matrix& b);
+
+/// C = s * A.
+Matrix ScalarMultiply(const Matrix& a, double s);
+
+/// C = A + s (applied to every cell; densifies).
+Matrix ScalarAdd(const Matrix& a, double s);
+
+/// C = -A.
+Matrix Negate(const Matrix& a);
+
+/// Sum of all cells.
+double SumAll(const Matrix& a);
+
+/// sqrt(sum of squared cells).
+double FrobeniusNorm(const Matrix& a);
+
+/// Exact number of non-zeros in A * B without materializing values
+/// (row-merge on sparsity patterns). Used by the exact estimator oracle.
+Result<int64_t> MultiplyNnzExact(const Matrix& a, const Matrix& b);
+
+/// Number of worker threads the local kernels use (>= 1).
+int KernelThreads();
+/// Overrides the kernel thread count (0 restores the hardware default).
+void SetKernelThreads(int threads);
+
+}  // namespace remac
+
+#endif  // REMAC_MATRIX_KERNELS_H_

@@ -1,0 +1,115 @@
+#include "matrix/matrix.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace remac {
+
+Matrix::Matrix()
+    : format_(MatrixFormat::kDense),
+      dense_(std::make_shared<const DenseMatrix>()),
+      nnz_(0) {}
+
+Matrix Matrix::FromDense(DenseMatrix dense) {
+  const int64_t total = dense.size();
+  const int64_t nnz = dense.CountNonZeros();
+  if (total > 0 &&
+      static_cast<double>(nnz) / static_cast<double>(total) <=
+          kDenseFormatThreshold) {
+    return WrapCsr(CsrMatrix::FromDense(dense));
+  }
+  return WrapDense(std::move(dense));
+}
+
+Matrix Matrix::FromCsr(CsrMatrix csr) {
+  if (csr.Sparsity() > kDenseFormatThreshold) {
+    return WrapDense(csr.ToDense());
+  }
+  return WrapCsr(std::move(csr));
+}
+
+Matrix Matrix::WrapDense(DenseMatrix dense) {
+  Matrix m;
+  m.format_ = MatrixFormat::kDense;
+  m.nnz_ = dense.CountNonZeros();
+  m.dense_ = std::make_shared<const DenseMatrix>(std::move(dense));
+  m.csr_.reset();
+  return m;
+}
+
+Matrix Matrix::WrapCsr(CsrMatrix csr) {
+  Matrix m;
+  m.format_ = MatrixFormat::kSparse;
+  m.nnz_ = csr.nnz();
+  m.csr_ = std::make_shared<const CsrMatrix>(std::move(csr));
+  m.dense_.reset();
+  return m;
+}
+
+Matrix Matrix::Identity(int64_t n) {
+  std::vector<std::tuple<int64_t, int64_t, double>> triplets;
+  triplets.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) triplets.emplace_back(i, i, 1.0);
+  CsrMatrix csr = CsrMatrix::FromTriplets(n, n, std::move(triplets));
+  if (n <= 2) return WrapDense(csr.ToDense());
+  return WrapCsr(std::move(csr));
+}
+
+Matrix Matrix::Zeros(int64_t rows, int64_t cols) {
+  return WrapCsr(CsrMatrix(rows, cols));
+}
+
+int64_t Matrix::rows() const {
+  return is_dense() ? dense_->rows() : csr_->rows();
+}
+
+int64_t Matrix::cols() const {
+  return is_dense() ? dense_->cols() : csr_->cols();
+}
+
+int64_t Matrix::nnz() const { return nnz_; }
+
+double Matrix::Sparsity() const {
+  const int64_t total = rows() * cols();
+  if (total == 0) return 0.0;
+  return static_cast<double>(nnz_) / static_cast<double>(total);
+}
+
+int64_t Matrix::SizeInBytes() const {
+  return is_dense() ? dense_->SizeInBytes() : csr_->SizeInBytes();
+}
+
+const DenseMatrix& Matrix::dense() const {
+  assert(is_dense());
+  return *dense_;
+}
+
+const CsrMatrix& Matrix::csr() const {
+  assert(!is_dense());
+  return *csr_;
+}
+
+DenseMatrix Matrix::ToDense() const {
+  return is_dense() ? *dense_ : csr_->ToDense();
+}
+
+CsrMatrix Matrix::ToCsr() const {
+  return is_dense() ? CsrMatrix::FromDense(*dense_) : *csr_;
+}
+
+double Matrix::At(int64_t r, int64_t c) const {
+  if (is_dense()) return dense_->At(r, c);
+  const CsrMatrix& m = *csr_;
+  for (int64_t k = m.row_ptr()[r]; k < m.row_ptr()[r + 1]; ++k) {
+    if (m.col_idx()[k] == c) return m.values()[k];
+    if (m.col_idx()[k] > c) break;
+  }
+  return 0.0;
+}
+
+bool Matrix::ApproxEquals(const Matrix& other, double tolerance) const {
+  if (rows() != other.rows() || cols() != other.cols()) return false;
+  return ToDense().ApproxEquals(other.ToDense(), tolerance);
+}
+
+}  // namespace remac

@@ -1,0 +1,81 @@
+#ifndef REMAC_MATRIX_MATRIX_H_
+#define REMAC_MATRIX_MATRIX_H_
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+
+#include "matrix/csr_matrix.h"
+#include "matrix/dense_matrix.h"
+
+namespace remac {
+
+/// Storage format of a Matrix.
+enum class MatrixFormat { kDense, kSparse };
+
+/// Sparsity threshold above which the dense format is used, following
+/// SystemDS (Section 4.2 of the paper: "we use a dense format if S_V > 0.4").
+inline constexpr double kDenseFormatThreshold = 0.4;
+
+/// \brief Format-polymorphic matrix value.
+///
+/// Wraps either a DenseMatrix or a CsrMatrix behind a shared immutable
+/// payload, so copies are cheap (matrices flow through plan execution by
+/// value). The format is chosen from the actual sparsity at construction
+/// unless explicitly forced.
+class Matrix {
+ public:
+  Matrix();
+
+  /// Wraps a dense payload, converting to CSR if sparsity <= 0.4.
+  static Matrix FromDense(DenseMatrix dense);
+
+  /// Wraps a sparse payload, converting to dense if sparsity > 0.4.
+  static Matrix FromCsr(CsrMatrix csr);
+
+  /// Keeps the given payload's format regardless of sparsity.
+  static Matrix WrapDense(DenseMatrix dense);
+  static Matrix WrapCsr(CsrMatrix csr);
+
+  /// n x n identity (stored sparse for n > 2).
+  static Matrix Identity(int64_t n);
+
+  /// rows x cols matrix of zeros (stored sparse).
+  static Matrix Zeros(int64_t rows, int64_t cols);
+
+  int64_t rows() const;
+  int64_t cols() const;
+  int64_t nnz() const;
+  double Sparsity() const;
+  MatrixFormat format() const { return format_; }
+  bool is_dense() const { return format_ == MatrixFormat::kDense; }
+
+  /// In-memory footprint in the current format.
+  int64_t SizeInBytes() const;
+
+  /// The dense payload; requires is_dense().
+  const DenseMatrix& dense() const;
+  /// The sparse payload; requires !is_dense().
+  const CsrMatrix& csr() const;
+
+  /// Materializes a dense copy regardless of the stored format.
+  DenseMatrix ToDense() const;
+  /// Materializes a CSR copy regardless of the stored format.
+  CsrMatrix ToCsr() const;
+
+  /// Element read in either format (O(log rowNnz) for sparse).
+  double At(int64_t r, int64_t c) const;
+
+  /// Element-wise comparison across formats.
+  bool ApproxEquals(const Matrix& other, double tolerance = 1e-9) const;
+
+ private:
+  MatrixFormat format_ = MatrixFormat::kDense;
+  std::shared_ptr<const DenseMatrix> dense_;
+  std::shared_ptr<const CsrMatrix> csr_;
+  int64_t nnz_ = 0;
+};
+
+}  // namespace remac
+
+#endif  // REMAC_MATRIX_MATRIX_H_

@@ -1,0 +1,203 @@
+#include "plan/chain.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace remac {
+
+std::string Factor::Symbol() const {
+  if (transposed && !symmetric) return base_symbol + "'";
+  return base_symbol;
+}
+
+std::string Factor::FlippedSymbol() const {
+  if (symmetric) return base_symbol;
+  if (transposed) return base_symbol;  // flipping undoes the transpose
+  return base_symbol + "'";
+}
+
+bool Block::AllLoopConstant(size_t begin, size_t end) const {
+  for (size_t i = begin; i < end; ++i) {
+    if (!factors[i].loop_constant) return false;
+  }
+  return begin < end;
+}
+
+std::string Block::ToString() const {
+  std::vector<std::string> symbols;
+  symbols.reserve(factors.size());
+  for (const auto& f : factors) symbols.push_back(f.Symbol());
+  return Join(symbols, " ");
+}
+
+namespace {
+
+bool IsAtom(const PlanNode& node) {
+  return node.op == PlanOp::kInput || IsGeneratorOp(node.op);
+}
+
+bool IsChainRegion(const PlanNode& node) {
+  if (node.op == PlanOp::kMatMul) return true;
+  if (node.op == PlanOp::kTranspose) return true;
+  if (IsAtom(node) && !node.shape.ScalarLike()) return true;
+  return false;
+}
+
+Factor MakeFactor(const PlanNodePtr& node, bool transposed) {
+  Factor f;
+  f.node = node;
+  f.symmetric = node->symmetric;
+  f.transposed = transposed && !node->symmetric;
+  f.loop_constant = node->loop_constant;
+  if (node->op == PlanOp::kInput) {
+    f.base_symbol = node->name;
+  } else if (node->op == PlanOp::kReadData) {
+    f.base_symbol = "@" + node->name;
+  } else {
+    // Generator or opaque subtree: a stable structural rendering.
+    f.base_symbol = node->ToString();
+  }
+  f.shape = node->shape;
+  if (f.transposed) std::swap(f.shape.rows, f.shape.cols);
+  return f;
+}
+
+/// Flattens a chain region into factors, applying pushed-down transposes.
+void FlattenChain(const PlanNodePtr& node, bool transposed,
+                  std::vector<Factor>* out) {
+  if (node->op == PlanOp::kMatMul) {
+    if (transposed) {
+      // Should not occur after push-down, but stay correct if it does:
+      // t(XY) = t(Y) t(X).
+      FlattenChain(node->children[1], true, out);
+      FlattenChain(node->children[0], true, out);
+    } else {
+      FlattenChain(node->children[0], false, out);
+      FlattenChain(node->children[1], false, out);
+    }
+    return;
+  }
+  if (node->op == PlanOp::kTranspose) {
+    FlattenChain(node->children[0], !transposed, out);
+    return;
+  }
+  out->push_back(MakeFactor(node, transposed));
+}
+
+class Decomposer {
+ public:
+  explicit Decomposer(int expr_index) : expr_index_(expr_index) {}
+
+  Result<PlanNodePtr> BuildSkeleton(const PlanNodePtr& node) {
+    if (node->op == PlanOp::kConst) return node->Clone();
+    if (node->op == PlanOp::kInput && node->shape.ScalarLike()) {
+      return node->Clone();
+    }
+    if (IsChainRegion(*node)) {
+      Block block;
+      block.expr_index = expr_index_;
+      FlattenChain(node, false, &block.factors);
+      block.shape = node->shape;
+      auto ref = std::make_shared<PlanNode>();
+      ref->op = PlanOp::kBlockRef;
+      ref->value = static_cast<double>(blocks_.size());
+      ref->shape = node->shape;
+      ref->loop_constant = node->loop_constant;
+      ref->symmetric = node->symmetric;
+      blocks_.push_back(std::move(block));
+      return ref;
+    }
+    // Skeleton operator: recurse into children.
+    auto out = std::make_shared<PlanNode>();
+    out->op = node->op;
+    out->name = node->name;
+    out->value = node->value;
+    out->shape = node->shape;
+    out->loop_constant = node->loop_constant;
+    out->symmetric = node->symmetric;
+    out->children.reserve(node->children.size());
+    for (const auto& child : node->children) {
+      REMAC_ASSIGN_OR_RETURN(PlanNodePtr sub, BuildSkeleton(child));
+      out->children.push_back(std::move(sub));
+    }
+    return out;
+  }
+
+  std::vector<Block> TakeBlocks() { return std::move(blocks_); }
+
+ private:
+  int expr_index_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace
+
+Result<Decomposition> DecomposeIntoBlocks(const PlanNodePtr& normalized_root,
+                                          int expr_index) {
+  Decomposer decomposer(expr_index);
+  REMAC_ASSIGN_OR_RETURN(PlanNodePtr skeleton,
+                         decomposer.BuildSkeleton(normalized_root));
+  Decomposition d;
+  d.skeleton = std::move(skeleton);
+  d.blocks = decomposer.TakeBlocks();
+  return d;
+}
+
+std::string JoinKey(const std::vector<std::string>& symbols) {
+  std::string out;
+  for (const std::string& symbol : symbols) {
+    if (!out.empty()) out += kKeySeparator;
+    out += symbol;
+  }
+  return out;
+}
+
+std::string WindowKey(const Block& block, size_t begin, size_t end) {
+  assert(begin < end && end <= block.factors.size());
+  std::string forward;
+  std::string reversed;
+  for (size_t i = begin; i < end; ++i) {
+    if (!forward.empty()) forward += kKeySeparator;
+    forward += block.factors[i].Symbol();
+  }
+  for (size_t i = end; i-- > begin;) {
+    if (!reversed.empty()) reversed += kKeySeparator;
+    reversed += block.factors[i].FlippedSymbol();
+  }
+  return std::min(forward, reversed);
+}
+
+bool WindowIsForward(const Block& block, size_t begin, size_t end) {
+  std::string forward;
+  for (size_t i = begin; i < end; ++i) {
+    if (!forward.empty()) forward += kKeySeparator;
+    forward += block.factors[i].Symbol();
+  }
+  return WindowKey(block, begin, end) == forward;
+}
+
+PlanNodePtr FactorPlan(const Factor& factor) {
+  PlanNodePtr base = factor.node->Clone();
+  if (!factor.transposed) return base;
+  auto t = MakeUnary(PlanOp::kTranspose, std::move(base));
+  const Status st = InferShapes(t.get());
+  assert(st.ok());
+  (void)st;
+  return t;
+}
+
+PlanNodePtr LeftDeepChain(const Block& block, size_t begin, size_t end) {
+  assert(begin < end && end <= block.factors.size());
+  PlanNodePtr acc = FactorPlan(block.factors[begin]);
+  for (size_t i = begin + 1; i < end; ++i) {
+    acc = MakeBinary(PlanOp::kMatMul, std::move(acc),
+                     FactorPlan(block.factors[i]));
+    const Status st = InferShapes(acc.get());
+    assert(st.ok());
+    (void)st;
+  }
+  return acc;
+}
+
+}  // namespace remac

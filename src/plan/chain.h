@@ -1,0 +1,97 @@
+#ifndef REMAC_PLAN_CHAIN_H_
+#define REMAC_PLAN_CHAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/plan_node.h"
+
+namespace remac {
+
+/// Separator between factor symbols in canonical window keys.
+inline constexpr char kKeySeparator = '\x1f';
+
+/// Joins factor symbols into a canonical window key.
+std::string JoinKey(const std::vector<std::string>& symbols);
+
+/// \brief One atom of a multiplication chain.
+///
+/// After transpose push-down an atom is an input, a dataset read, a
+/// generator, or (rarely, when the expansion budget was hit) an opaque
+/// non-chain subtree. The `transposed` flag carries the pushed-down
+/// transpose; symmetric atoms never carry it (t(H) == H).
+struct Factor {
+  PlanNodePtr node;
+  bool transposed = false;
+  /// Canonical atom name without the transpose marker (loop variables
+  /// additionally carry an "@<version>" suffix, appended by
+  /// BuildSearchSpace, so windows reading different versions of the same
+  /// variable never unify).
+  std::string base_symbol;
+  bool symmetric = false;
+  bool loop_constant = false;
+  /// Intra-iteration version of a loop-assigned variable leaf (number of
+  /// assignments to it before the window's statement).
+  int version = 0;
+  /// Shape after applying `transposed`.
+  Shape shape;
+
+  /// base_symbol plus "'" when effectively transposed.
+  std::string Symbol() const;
+  /// Symbol of the transposed atom (used when reversing a window).
+  std::string FlippedSymbol() const;
+};
+
+/// \brief A block: one matrix-multiplication chain (paper Section 3.2,
+/// step 2). Length-1 blocks (a bare H) are legal; 1x1-result chains
+/// (d^T A^T A d) are blocks too.
+struct Block {
+  std::vector<Factor> factors;
+  Shape shape;
+  /// Index of the statement/expression this block came from.
+  int expr_index = 0;
+  /// Offset of this block's first factor on the global coordinate axis
+  /// (paper Figure 4); assigned by BuildCoordinates.
+  int64_t coord_begin = 0;
+
+  int64_t Length() const { return static_cast<int64_t>(factors.size()); }
+  bool AllLoopConstant(size_t begin, size_t end) const;
+  std::string ToString() const;
+};
+
+/// \brief An expression split into blocks plus the connecting skeleton.
+///
+/// The skeleton is the original tree with every chain region replaced by
+/// a kBlockRef leaf (value = block index). Reassembling an executable
+/// plan = substituting a parenthesization tree for every kBlockRef.
+struct Decomposition {
+  PlanNodePtr skeleton;
+  std::vector<Block> blocks;
+};
+
+/// Decomposes a normalized (pushed-down, expanded) plan tree.
+/// `expr_index` tags the produced blocks.
+Result<Decomposition> DecomposeIntoBlocks(const PlanNodePtr& normalized_root,
+                                          int expr_index = 0);
+
+/// Canonical window key over factors [begin, end) of `block`:
+/// the lexicographic minimum of the forward symbol string and the
+/// reversed-and-transposed symbol string, so that a subexpression and its
+/// transpose collide ((A^T A d)^T = d^T A^T A; paper Section 3.2 step 3).
+std::string WindowKey(const Block& block, size_t begin, size_t end);
+
+/// True if the canonical key of the window equals the forward rendering
+/// (i.e., the window is stored in its canonical orientation).
+bool WindowIsForward(const Block& block, size_t begin, size_t end);
+
+/// Rebuilds the plan subtree computing factors [begin, end) of `block`
+/// as a left-deep chain (used when no better order is chosen).
+PlanNodePtr LeftDeepChain(const Block& block, size_t begin, size_t end);
+
+/// The plan node of a single factor (atom plus its transpose).
+PlanNodePtr FactorPlan(const Factor& factor);
+
+}  // namespace remac
+
+#endif  // REMAC_PLAN_CHAIN_H_

@@ -1,0 +1,88 @@
+#include "plan/plan_dot.h"
+
+#include "common/string_util.h"
+
+namespace remac {
+
+namespace {
+
+/// Emits the subtree rooted at `node`; returns its DOT node id.
+int EmitNode(const PlanNode& node, int* next_id, std::string* out) {
+  const int id = (*next_id)++;
+  std::string label;
+  std::string shape = "ellipse";
+  switch (node.op) {
+    case PlanOp::kInput:
+      label = node.name;
+      shape = "box";
+      break;
+    case PlanOp::kReadData:
+      label = "read(" + node.name + ")";
+      shape = "box";
+      break;
+    case PlanOp::kConst:
+      label = StringFormat("%g", node.value);
+      shape = "plaintext";
+      break;
+    default:
+      label = PlanOpName(node.op);
+      break;
+  }
+  if (!node.shape.ScalarLike()) {
+    label += StringFormat("\\n%lldx%lld",
+                          static_cast<long long>(node.shape.rows),
+                          static_cast<long long>(node.shape.cols));
+  }
+  *out += StringFormat("  n%d [label=\"%s\", shape=%s];\n", id, label.c_str(),
+                       shape.c_str());
+  for (const auto& child : node.children) {
+    const int child_id = EmitNode(*child, next_id, out);
+    *out += StringFormat("  n%d -> n%d;\n", id, child_id);
+  }
+  return id;
+}
+
+void EmitStatements(const std::vector<CompiledStmt>& statements, int* next_id,
+                    int* next_cluster, std::string* out) {
+  for (const auto& stmt : statements) {
+    if (stmt.kind == CompiledStmt::Kind::kAssign) {
+      const int cluster = (*next_cluster)++;
+      *out += StringFormat("  subgraph cluster_%d {\n", cluster);
+      *out += StringFormat("    label=\"%s =%s\";\n", stmt.target.c_str(),
+                           stmt.is_temp ? " (temp)" : "");
+      *out += "    style=rounded;\n";
+      EmitNode(*stmt.plan, next_id, out);
+      *out += "  }\n";
+    } else {
+      const int cluster = (*next_cluster)++;
+      *out += StringFormat("  subgraph cluster_%d {\n", cluster);
+      *out += "    label=\"loop\";\n    style=dashed;\n";
+      EmitStatements(stmt.body, next_id, next_cluster, out);
+      *out += "  }\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string PlanToDot(const PlanNode& root, const std::string& title) {
+  std::string out = "digraph plan {\n  rankdir=BT;\n";
+  if (!title.empty()) {
+    out += StringFormat("  label=\"%s\";\n", title.c_str());
+  }
+  int next_id = 0;
+  EmitNode(root, &next_id, &out);
+  out += "}\n";
+  return out;
+}
+
+std::string ProgramToDot(const CompiledProgram& program) {
+  std::string out = "digraph program {\n  rankdir=BT;\n";
+  int next_id = 0;
+  int next_cluster = 0;
+  EmitStatements(program.statements, &next_id, &next_cluster, &out);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace remac

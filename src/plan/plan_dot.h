@@ -1,0 +1,21 @@
+#ifndef REMAC_PLAN_PLAN_DOT_H_
+#define REMAC_PLAN_PLAN_DOT_H_
+
+#include <string>
+
+#include "plan/plan_builder.h"
+#include "plan/plan_node.h"
+
+namespace remac {
+
+/// Renders a plan tree as a Graphviz DOT digraph (one node per operator,
+/// leaves labeled with variable/dataset names and shapes).
+std::string PlanToDot(const PlanNode& root, const std::string& title = "");
+
+/// Renders a whole compiled program: one cluster per statement, loops as
+/// nested clusters. Feed to `dot -Tsvg` to inspect optimized programs.
+std::string ProgramToDot(const CompiledProgram& program);
+
+}  // namespace remac
+
+#endif  // REMAC_PLAN_PLAN_DOT_H_

@@ -1,0 +1,125 @@
+#ifndef REMAC_PLAN_PLAN_NODE_H_
+#define REMAC_PLAN_PLAN_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace remac {
+
+/// Operators of the logical plan (HOP-level, mirroring SystemDS).
+enum class PlanOp {
+  kInput,      // named variable reference
+  kConst,      // scalar literal
+  kMatMul,     // matrix multiplication
+  kTranspose,  // t(X)
+  kAdd,        // element-wise + (scalar-broadcast when one side is 1x1)
+  kSub,        // element-wise -
+  kMul,        // element-wise * (scalar-broadcast)
+  kDiv,        // element-wise / (scalar-broadcast)
+  // Scalar-valued reductions / functions.
+  kNcol,
+  kNrow,
+  kSum,
+  kNorm,   // Frobenius norm
+  kTrace,  // sum of the diagonal
+  kSqrt,
+  kAbs,
+  // Element-wise unary matrix functions.
+  kExp,
+  kLog,
+  // Structured reductions / constructors.
+  kRowSums,  // (r x c) -> (r x 1)
+  kColSums,  // (r x c) -> (1 x c)
+  kDiag,     // square matrix -> diagonal column vector; vector -> diag matrix
+  // Comparisons (scalar result 0/1; used in loop conditions).
+  kLess,
+  kGreater,
+  kLessEq,
+  kGreaterEq,
+  kEqual,
+  kNotEqual,
+  // Generators.
+  kReadData,  // read("name"): a dataset from the catalog
+  kEye,       // eye(n)
+  kZeros,     // zeros(r, c)
+  kOnes,      // ones(r, c)
+  kRand,      // rand(r, c): standard-normal dense matrix
+  // Internal: a reference to a decomposed block (value = block index).
+  // Never produced by the plan builder; used by chain decomposition.
+  kBlockRef,
+};
+
+const char* PlanOpName(PlanOp op);
+
+/// Inferred shape of a plan node. A scalar is 1 x 1 with is_scalar set;
+/// 1 x 1 matrices (e.g., d^T A^T A d) are freely usable in scalar
+/// positions.
+struct Shape {
+  int64_t rows = 1;
+  int64_t cols = 1;
+  bool is_scalar = false;
+
+  bool IsOneByOne() const { return rows == 1 && cols == 1; }
+  bool ScalarLike() const { return is_scalar || IsOneByOne(); }
+  bool operator==(const Shape&) const = default;
+};
+
+struct PlanNode;
+using PlanNodePtr = std::shared_ptr<PlanNode>;
+
+/// \brief A node of the logical plan tree.
+///
+/// Plans are trees (not DAGs): sharing is introduced later, by the
+/// redundancy-elimination machinery, in the form of explicit temporary
+/// assignments. Nodes are immutable by convention once built; rewrites
+/// construct fresh nodes.
+struct PlanNode {
+  PlanOp op;
+  std::string name;      // kInput / kReadData
+  double value = 0.0;    // kConst
+  std::vector<PlanNodePtr> children;
+  Shape shape;
+  /// True if every input reachable from this node is loop-constant
+  /// (set by the LSE labeling pass, paper Section 3.3 step 1*).
+  bool loop_constant = false;
+  /// True if the node provably equals its own transpose.
+  bool symmetric = false;
+
+  /// Structural one-line rendering, e.g., "(H %*% t(A))".
+  std::string ToString() const;
+
+  /// Deep structural equality (names, values, ops, children).
+  static bool Equals(const PlanNode& a, const PlanNode& b);
+
+  /// Deep copy.
+  PlanNodePtr Clone() const;
+};
+
+/// Node constructors (shapes must be filled by InferShapes afterwards
+/// unless stated otherwise).
+PlanNodePtr MakeInput(std::string name, Shape shape);
+PlanNodePtr MakeConst(double value);
+PlanNodePtr MakeUnary(PlanOp op, PlanNodePtr child);
+PlanNodePtr MakeBinary(PlanOp op, PlanNodePtr lhs, PlanNodePtr rhs);
+
+/// True for +, -, *, / (element-wise family).
+bool IsElementwiseOp(PlanOp op);
+/// True for the comparison family.
+bool IsComparisonOp(PlanOp op);
+/// True for generator nodes (read/eye/zeros/ones/rand).
+bool IsGeneratorOp(PlanOp op);
+
+/// Recomputes `shape` bottom-up. Fails on dimension mismatches.
+/// Generator dimension arguments must be constants by this point.
+Status InferShapes(PlanNode* node);
+
+/// Counts nodes in the tree.
+int64_t CountNodes(const PlanNode& node);
+
+}  // namespace remac
+
+#endif  // REMAC_PLAN_PLAN_NODE_H_

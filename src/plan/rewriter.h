@@ -1,0 +1,39 @@
+#ifndef REMAC_PLAN_REWRITER_H_
+#define REMAC_PLAN_REWRITER_H_
+
+#include "plan/plan_node.h"
+
+namespace remac {
+
+/// \brief Pushes transpositions down to the leaves (paper Section 3.2,
+/// step 1).
+///
+/// Applies t(t(X)) = X, t(XY) = t(Y)t(X), t(X op Y) = t(X) op t(Y) for the
+/// element-wise family, and drops transposes of scalar-like nodes, until
+/// kTranspose nodes appear only directly above inputs/generators/opaque
+/// subtrees. Shapes are re-inferred on the result.
+PlanNodePtr PushDownTransposes(const PlanNodePtr& node);
+
+/// \brief Expands products over sums (distributive law) and pulls scalar
+/// coefficients out of multiplication chains (paper Section 3.2, step 2
+/// preparation).
+///
+/// (X + Y) %*% Z   ->  X %*% Z + Y %*% Z
+/// (s * X) %*% Y   ->  s * (X %*% Y)
+/// s * (X + Y)     ->  s * X + s * Y
+///
+/// Expansion stops (returning the tree unexpanded at that node) once the
+/// additive term count would exceed `max_terms`, guarding against
+/// exponential blowup on adversarial inputs.
+PlanNodePtr ExpandDistributive(const PlanNodePtr& node, int max_terms = 64);
+
+/// Folds constant scalar subtrees ((2 * 3) -> 6) and algebraic identities
+/// (1 * X -> X, -1 * -1 * X -> X).
+PlanNodePtr FoldConstants(const PlanNodePtr& node);
+
+/// Convenience: push-down + fold + expand, re-inferring shapes.
+PlanNodePtr NormalizeForSearch(const PlanNodePtr& node, int max_terms = 64);
+
+}  // namespace remac
+
+#endif  // REMAC_PLAN_REWRITER_H_

@@ -1,0 +1,481 @@
+#include "runtime/executor.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "cost/physical_model.h"
+#include "matrix/kernels.h"
+
+namespace remac {
+
+RtValue RtValue::Scalar(double v) {
+  RtValue out;
+  out.is_scalar = true;
+  out.scalar = v;
+  return out;
+}
+
+RtValue RtValue::FromMatrix(Matrix m, bool distributed) {
+  RtValue out;
+  out.matrix = std::move(m);
+  out.distributed = distributed;
+  return out;
+}
+
+Result<double> RtValue::AsScalar() const {
+  if (is_scalar) return scalar;
+  if (matrix.rows() == 1 && matrix.cols() == 1) return matrix.At(0, 0);
+  return Status::InvalidArgument(StringFormat(
+      "cannot use a %lld x %lld matrix as a scalar",
+      static_cast<long long>(matrix.rows()),
+      static_cast<long long>(matrix.cols())));
+}
+
+Matrix RtValue::AsMatrix() const {
+  if (!is_scalar) return matrix;
+  DenseMatrix m(1, 1);
+  m.At(0, 0) = scalar;
+  return Matrix::WrapDense(std::move(m));
+}
+
+Executor::Executor(const ClusterModel& model, const DataCatalog* catalog,
+                   TransmissionLedger* ledger, EngineTraits traits)
+    : model_(model), catalog_(catalog), ledger_(ledger), traits_(traits) {}
+
+Result<RtValue> Executor::Get(const std::string& name) const {
+  auto it = env_.find(name);
+  if (it == env_.end()) {
+    return Status::NotFound("variable '" + name + "' is not defined");
+  }
+  return it->second;
+}
+
+void Executor::Set(const std::string& name, RtValue value) {
+  env_.insert_or_assign(name, std::move(value));
+}
+
+Status Executor::Run(const std::vector<CompiledStmt>& statements,
+                     int max_loop_iterations) {
+  for (const auto& stmt : statements) {
+    if (stmt.kind == CompiledStmt::Kind::kAssign) {
+      REMAC_ASSIGN_OR_RETURN(RtValue value, Eval(*stmt.plan));
+      Set(stmt.target, std::move(value));
+      continue;
+    }
+    // Loop.
+    int64_t limit = max_loop_iterations;
+    if (stmt.static_trip_count >= 0) {
+      limit = std::min<int64_t>(limit, stmt.static_trip_count);
+    }
+    if (!stmt.loop_var.empty()) {
+      Set(stmt.loop_var, RtValue::Scalar(stmt.loop_begin));
+    }
+    for (int64_t iter = 0; iter < limit; ++iter) {
+      if (stmt.condition != nullptr) {
+        REMAC_ASSIGN_OR_RETURN(const RtValue cond, Eval(*stmt.condition));
+        REMAC_ASSIGN_OR_RETURN(const double flag, cond.AsScalar());
+        if (flag == 0.0) break;
+      }
+      if (stmt.barrier_commit) {
+        // Temps commit immediately; outputs are staged and committed
+        // together, so every output reads start-of-iteration state.
+        std::vector<std::pair<std::string, RtValue>> staged;
+        for (const auto& body_stmt : stmt.body) {
+          if (body_stmt.kind != CompiledStmt::Kind::kAssign) {
+            return Status::Unsupported("nested loop in barrier-commit body");
+          }
+          REMAC_ASSIGN_OR_RETURN(RtValue value, Eval(*body_stmt.plan));
+          if (body_stmt.is_temp) {
+            Set(body_stmt.target, std::move(value));
+          } else {
+            staged.emplace_back(body_stmt.target, std::move(value));
+          }
+        }
+        for (auto& [name, value] : staged) Set(name, std::move(value));
+      } else {
+        REMAC_RETURN_NOT_OK(Run(stmt.body, max_loop_iterations));
+      }
+      if (!stmt.loop_var.empty()) {
+        Set(stmt.loop_var,
+            RtValue::Scalar(stmt.loop_begin + static_cast<double>(iter + 1)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<RtValue> Executor::ReadDataset(const std::string& name) {
+  if (catalog_ == nullptr) {
+    return Status::Internal("executor has no catalog");
+  }
+  REMAC_ASSIGN_OR_RETURN(Matrix value, catalog_->Value(name));
+  if (traits_.force_dense && !value.is_dense()) {
+    value = Matrix::WrapDense(value.ToDense());
+  }
+  if (!loaded_datasets_[name]) {
+    loaded_datasets_[name] = true;
+    if (count_input_partition_ && ledger_ != nullptr) {
+      ledger_->AddInputPartition(static_cast<double>(value.SizeInBytes()) *
+                                 traits_.input_partition_factor);
+    }
+  }
+  // Input datasets live distributed: they are the cluster-scale payloads
+  // (the paper's 30-40GB Criteo/Reddit matrices).
+  return RtValue::FromMatrix(std::move(value), /*distributed=*/true);
+}
+
+Result<RtValue> Executor::EvalGenerator(const PlanNode& node) {
+  const int64_t rows = node.shape.rows;
+  const int64_t cols = node.shape.cols;
+  switch (node.op) {
+    case PlanOp::kEye:
+      return RtValue::FromMatrix(Matrix::Identity(rows), false);
+    case PlanOp::kZeros:
+      return RtValue::FromMatrix(Matrix::Zeros(rows, cols), false);
+    case PlanOp::kOnes: {
+      DenseMatrix m(rows, cols);
+      for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = 1.0;
+      return RtValue::FromMatrix(Matrix::WrapDense(std::move(m)), false);
+    }
+    case PlanOp::kRand: {
+      Rng rng(0x5eedULL + (rand_counter_++));
+      DenseMatrix m(rows, cols);
+      for (int64_t i = 0; i < m.size(); ++i) {
+        m.data()[i] = std::fabs(rng.NextGaussian()) + 0.1;
+      }
+      Matrix value = Matrix::WrapDense(std::move(m));
+      const bool dist = IsDistributedSize(
+          static_cast<double>(value.SizeInBytes()), model_);
+      return RtValue::FromMatrix(std::move(value), dist);
+    }
+    default:
+      return Status::Internal("not a generator");
+  }
+}
+
+Result<RtValue> Executor::EvalBinary(const PlanNode& node) {
+  REMAC_ASSIGN_OR_RETURN(const RtValue lhs, Eval(*node.children[0]));
+  REMAC_ASSIGN_OR_RETURN(const RtValue rhs, Eval(*node.children[1]));
+  const bool l_scalar =
+      lhs.is_scalar || (lhs.matrix.rows() == 1 && lhs.matrix.cols() == 1);
+  const bool r_scalar =
+      rhs.is_scalar || (rhs.matrix.rows() == 1 && rhs.matrix.cols() == 1);
+  ++ops_executed_;
+  // Scalar-scalar.
+  if (l_scalar && r_scalar) {
+    REMAC_ASSIGN_OR_RETURN(const double a, lhs.AsScalar());
+    REMAC_ASSIGN_OR_RETURN(const double b, rhs.AsScalar());
+    switch (node.op) {
+      case PlanOp::kAdd: return RtValue::Scalar(a + b);
+      case PlanOp::kSub: return RtValue::Scalar(a - b);
+      case PlanOp::kMul: return RtValue::Scalar(a * b);
+      case PlanOp::kDiv: return RtValue::Scalar(b == 0.0 ? 0.0 : a / b);
+      case PlanOp::kLess: return RtValue::Scalar(a < b ? 1.0 : 0.0);
+      case PlanOp::kGreater: return RtValue::Scalar(a > b ? 1.0 : 0.0);
+      case PlanOp::kLessEq: return RtValue::Scalar(a <= b ? 1.0 : 0.0);
+      case PlanOp::kGreaterEq: return RtValue::Scalar(a >= b ? 1.0 : 0.0);
+      case PlanOp::kEqual: return RtValue::Scalar(a == b ? 1.0 : 0.0);
+      case PlanOp::kNotEqual: return RtValue::Scalar(a != b ? 1.0 : 0.0);
+      case PlanOp::kMatMul: return RtValue::Scalar(a * b);
+      default:
+        return Status::Internal("bad scalar binary op");
+    }
+  }
+  if (IsComparisonOp(node.op)) {
+    return Status::InvalidArgument("comparison of non-scalar values");
+  }
+  // Scalar-matrix broadcast.
+  if (l_scalar != r_scalar && node.op != PlanOp::kMatMul) {
+    const RtValue& mat = l_scalar ? rhs : lhs;
+    REMAC_ASSIGN_OR_RETURN(const double s,
+                           (l_scalar ? lhs : rhs).AsScalar());
+    switch (node.op) {
+      case PlanOp::kMul: {
+        DistValue out = ExecScalarMultiply(mat.matrix, mat.distributed, s,
+                                           model_, ledger_);
+        return RtValue::FromMatrix(std::move(out.value), out.distributed);
+      }
+      case PlanOp::kDiv: {
+        if (l_scalar) {
+          // scalar ./ matrix: element-wise reciprocal, scaled.
+          DenseMatrix d = mat.matrix.ToDense();
+          for (int64_t i = 0; i < d.size(); ++i) {
+            d.data()[i] = d.data()[i] == 0.0 ? 0.0 : s / d.data()[i];
+          }
+          const OpCosting costing =
+              CostScalarOp(InfoOf(mat.matrix, mat.distributed), model_);
+          costing.Book(ledger_);
+          return RtValue::FromMatrix(Matrix::FromDense(std::move(d)),
+                                     costing.result_distributed);
+        }
+        DistValue out = ExecScalarMultiply(
+            mat.matrix, mat.distributed, s == 0.0 ? 0.0 : 1.0 / s, model_,
+            ledger_);
+        return RtValue::FromMatrix(std::move(out.value), out.distributed);
+      }
+      case PlanOp::kAdd:
+      case PlanOp::kSub: {
+        DenseMatrix d = mat.matrix.ToDense();
+        for (int64_t i = 0; i < d.size(); ++i) {
+          if (node.op == PlanOp::kAdd) {
+            d.data()[i] += s;
+          } else if (l_scalar) {
+            d.data()[i] = s - d.data()[i];  // scalar - matrix
+          } else {
+            d.data()[i] -= s;  // matrix - scalar
+          }
+        }
+        const OpCosting costing =
+            CostScalarOp(InfoOf(mat.matrix, mat.distributed), model_);
+        costing.Book(ledger_);
+        return RtValue::FromMatrix(Matrix::FromDense(std::move(d)),
+                                   costing.result_distributed);
+      }
+      default:
+        return Status::Internal("bad scalar-matrix op");
+    }
+  }
+  // Matrix multiplication with transpose fusion: t(X) %*% Y and
+  // X %*% t(Y) do not materialize the distributed transpose (SystemDS's
+  // fused transpose-multiply operators).
+  if (node.op == PlanOp::kMatMul) {
+    // 1x1-matrix operands degrade to scalar scaling.
+    if (l_scalar || r_scalar) {
+      REMAC_ASSIGN_OR_RETURN(const double s,
+                             (l_scalar ? lhs : rhs).AsScalar());
+      const RtValue& mat = l_scalar ? rhs : lhs;
+      DistValue out = ExecScalarMultiply(mat.matrix, mat.distributed, s,
+                                         model_, ledger_);
+      return RtValue::FromMatrix(std::move(out.value), out.distributed);
+    }
+    REMAC_ASSIGN_OR_RETURN(
+        DistValue out,
+        ExecMultiply(lhs.matrix, lhs.distributed, /*a_transposed=*/false,
+                     rhs.matrix, rhs.distributed, /*b_transposed=*/false,
+                     model_, ledger_));
+    return RtValue::FromMatrix(std::move(out.value), out.distributed);
+  }
+  // Element-wise matrix op.
+  BinaryOpKind kind;
+  switch (node.op) {
+    case PlanOp::kAdd: kind = BinaryOpKind::kAdd; break;
+    case PlanOp::kSub: kind = BinaryOpKind::kSub; break;
+    case PlanOp::kMul: kind = BinaryOpKind::kElemMul; break;
+    case PlanOp::kDiv: kind = BinaryOpKind::kElemDiv; break;
+    default:
+      return Status::Internal("bad elementwise op");
+  }
+  REMAC_ASSIGN_OR_RETURN(
+      DistValue out,
+      ExecElementwise(kind, lhs.matrix, lhs.distributed, rhs.matrix,
+                      rhs.distributed, model_, ledger_));
+  return RtValue::FromMatrix(std::move(out.value), out.distributed);
+}
+
+RtValue Executor::ApplyTraits(RtValue value) const {
+  if (value.is_scalar) return value;
+  if (traits_.force_dense && !value.matrix.is_dense()) {
+    value.matrix = Matrix::WrapDense(value.matrix.ToDense());
+  }
+  if (traits_.force_distributed &&
+      value.matrix.rows() * value.matrix.cols() > 1) {
+    value.distributed = true;
+  }
+  return value;
+}
+
+Result<RtValue> Executor::Eval(const PlanNode& node) {
+  REMAC_ASSIGN_OR_RETURN(RtValue value, EvalImpl(node));
+  return ApplyTraits(std::move(value));
+}
+
+Result<RtValue> Executor::EvalImpl(const PlanNode& node) {
+  switch (node.op) {
+    case PlanOp::kInput:
+      return Get(node.name);
+    case PlanOp::kConst:
+      return RtValue::Scalar(node.value);
+    case PlanOp::kReadData:
+      return ReadDataset(node.name);
+    case PlanOp::kEye:
+    case PlanOp::kZeros:
+    case PlanOp::kOnes:
+    case PlanOp::kRand:
+      return EvalGenerator(node);
+    case PlanOp::kTranspose: {
+      // Fuse into a child multiply when possible; otherwise materialize.
+      REMAC_ASSIGN_OR_RETURN(const RtValue child, Eval(*node.children[0]));
+      if (child.is_scalar) return child;
+      ++ops_executed_;
+      DistValue out =
+          ExecTranspose(child.matrix, child.distributed, model_, ledger_);
+      return RtValue::FromMatrix(std::move(out.value), out.distributed);
+    }
+    case PlanOp::kMatMul: {
+      // Transpose fusion: unwrap t() children.
+      const PlanNode* lhs = node.children[0].get();
+      const PlanNode* rhs = node.children[1].get();
+      const bool lt = lhs->op == PlanOp::kTranspose &&
+                      !lhs->children[0]->shape.ScalarLike();
+      const bool rt = rhs->op == PlanOp::kTranspose &&
+                      !rhs->children[0]->shape.ScalarLike();
+      if (!lt && !rt) return EvalBinary(node);
+      REMAC_ASSIGN_OR_RETURN(const RtValue a,
+                             Eval(lt ? *lhs->children[0] : *lhs));
+      REMAC_ASSIGN_OR_RETURN(const RtValue b,
+                             Eval(rt ? *rhs->children[0] : *rhs));
+      if (a.is_scalar || b.is_scalar) {
+        // Degenerate; fall back to materialized transpose semantics.
+        return EvalBinary(node);
+      }
+      ++ops_executed_;
+      REMAC_ASSIGN_OR_RETURN(
+          DistValue out,
+          ExecMultiply(a.matrix, a.distributed, lt, b.matrix, b.distributed,
+                       rt, model_, ledger_));
+      return RtValue::FromMatrix(std::move(out.value), out.distributed);
+    }
+    case PlanOp::kAdd:
+    case PlanOp::kSub:
+    case PlanOp::kMul:
+    case PlanOp::kDiv:
+    case PlanOp::kLess:
+    case PlanOp::kGreater:
+    case PlanOp::kLessEq:
+    case PlanOp::kGreaterEq:
+    case PlanOp::kEqual:
+    case PlanOp::kNotEqual:
+      return EvalBinary(node);
+    case PlanOp::kSum: {
+      REMAC_ASSIGN_OR_RETURN(const RtValue child, Eval(*node.children[0]));
+      if (child.is_scalar) return child;
+      if (ledger_ != nullptr) {
+        ledger_->AddDistributedFlops(static_cast<double>(child.matrix.nnz()));
+      }
+      return RtValue::Scalar(SumAll(child.matrix));
+    }
+    case PlanOp::kTrace: {
+      REMAC_ASSIGN_OR_RETURN(const RtValue child, Eval(*node.children[0]));
+      if (child.is_scalar) return child;
+      const Matrix& m = child.matrix;
+      if (m.rows() != m.cols()) {
+        return Status::DimensionMismatch("trace of a non-square matrix");
+      }
+      double total = 0.0;
+      for (int64_t i = 0; i < m.rows(); ++i) total += m.At(i, i);
+      if (ledger_ != nullptr) {
+        ledger_->AddDistributedFlops(static_cast<double>(m.rows()));
+      }
+      return RtValue::Scalar(total);
+    }
+    case PlanOp::kExp:
+    case PlanOp::kLog: {
+      REMAC_ASSIGN_OR_RETURN(const RtValue child, Eval(*node.children[0]));
+      if (child.is_scalar) {
+        return RtValue::Scalar(node.op == PlanOp::kExp
+                                   ? std::exp(child.scalar)
+                                   : std::log(child.scalar));
+      }
+      ++ops_executed_;
+      if (node.op == PlanOp::kExp) {
+        DenseMatrix d = child.matrix.ToDense();  // exp(0) = 1 densifies
+        for (int64_t i = 0; i < d.size(); ++i) {
+          d.data()[i] = std::exp(d.data()[i]);
+        }
+        const OpCosting costing =
+            CostScalarOp(InfoOf(child.matrix, child.distributed), model_);
+        costing.Book(ledger_);
+        return RtValue::FromMatrix(Matrix::FromDense(std::move(d)),
+                                   costing.result_distributed);
+      }
+      // Safe log: applied to the stored non-zeros only.
+      CsrMatrix csr = child.matrix.ToCsr();
+      for (auto& v : csr.mutable_values()) v = std::log(v);
+      const OpCosting costing =
+          CostScalarOp(InfoOf(child.matrix, child.distributed), model_);
+      costing.Book(ledger_);
+      return RtValue::FromMatrix(Matrix::FromCsr(std::move(csr)),
+                                 costing.result_distributed);
+    }
+    case PlanOp::kRowSums:
+    case PlanOp::kColSums: {
+      REMAC_ASSIGN_OR_RETURN(const RtValue child, Eval(*node.children[0]));
+      const Matrix m = child.AsMatrix();
+      ++ops_executed_;
+      const bool rows = node.op == PlanOp::kRowSums;
+      DenseMatrix out(rows ? m.rows() : 1, rows ? 1 : m.cols());
+      const CsrMatrix csr = m.ToCsr();
+      for (int64_t r = 0; r < csr.rows(); ++r) {
+        for (int64_t k = csr.row_ptr()[r]; k < csr.row_ptr()[r + 1]; ++k) {
+          if (rows) {
+            out.At(r, 0) += csr.values()[k];
+          } else {
+            out.At(0, csr.col_idx()[k]) += csr.values()[k];
+          }
+        }
+      }
+      if (ledger_ != nullptr) {
+        ledger_->AddDistributedFlops(static_cast<double>(m.nnz()));
+      }
+      Matrix result = Matrix::FromDense(std::move(out));
+      const bool dist = IsDistributedSize(
+          static_cast<double>(result.SizeInBytes()), model_);
+      return RtValue::FromMatrix(std::move(result), dist);
+    }
+    case PlanOp::kDiag: {
+      REMAC_ASSIGN_OR_RETURN(const RtValue child, Eval(*node.children[0]));
+      const Matrix m = child.AsMatrix();
+      ++ops_executed_;
+      if (m.cols() == 1) {
+        std::vector<std::tuple<int64_t, int64_t, double>> triplets;
+        for (int64_t i = 0; i < m.rows(); ++i) {
+          const double v = m.At(i, 0);
+          if (v != 0.0) triplets.emplace_back(i, i, v);
+        }
+        return RtValue::FromMatrix(
+            Matrix::FromCsr(
+                CsrMatrix::FromTriplets(m.rows(), m.rows(),
+                                        std::move(triplets))),
+            false);
+      }
+      if (m.rows() != m.cols()) {
+        return Status::DimensionMismatch("diag of a non-square matrix");
+      }
+      DenseMatrix out(m.rows(), 1);
+      for (int64_t i = 0; i < m.rows(); ++i) out.At(i, 0) = m.At(i, i);
+      return RtValue::FromMatrix(Matrix::FromDense(std::move(out)), false);
+    }
+    case PlanOp::kNorm: {
+      REMAC_ASSIGN_OR_RETURN(const RtValue child, Eval(*node.children[0]));
+      if (child.is_scalar) return RtValue::Scalar(std::fabs(child.scalar));
+      if (ledger_ != nullptr) {
+        ledger_->AddDistributedFlops(
+            2.0 * static_cast<double>(child.matrix.nnz()));
+      }
+      return RtValue::Scalar(FrobeniusNorm(child.matrix));
+    }
+    case PlanOp::kSqrt: {
+      REMAC_ASSIGN_OR_RETURN(const RtValue child, Eval(*node.children[0]));
+      REMAC_ASSIGN_OR_RETURN(const double v, child.AsScalar());
+      return RtValue::Scalar(std::sqrt(v));
+    }
+    case PlanOp::kAbs: {
+      REMAC_ASSIGN_OR_RETURN(const RtValue child, Eval(*node.children[0]));
+      REMAC_ASSIGN_OR_RETURN(const double v, child.AsScalar());
+      return RtValue::Scalar(std::fabs(v));
+    }
+    case PlanOp::kNcol:
+    case PlanOp::kNrow: {
+      REMAC_ASSIGN_OR_RETURN(const RtValue child, Eval(*node.children[0]));
+      const Matrix m = child.AsMatrix();
+      return RtValue::Scalar(static_cast<double>(
+          node.op == PlanOp::kNcol ? m.cols() : m.rows()));
+    }
+    case PlanOp::kBlockRef:
+      return Status::Internal("kBlockRef reached the executor");
+  }
+  return Status::Internal("unhandled op in Eval");
+}
+
+}  // namespace remac

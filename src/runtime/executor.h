@@ -1,0 +1,103 @@
+#ifndef REMAC_RUNTIME_EXECUTOR_H_
+#define REMAC_RUNTIME_EXECUTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_model.h"
+#include "cluster/transmission_ledger.h"
+#include "common/status.h"
+#include "distributed/distributed_ops.h"
+#include "matrix/matrix.h"
+#include "plan/plan_builder.h"
+
+namespace remac {
+
+/// Runtime value: a scalar or a matrix with its placement.
+struct RtValue {
+  bool is_scalar = false;
+  double scalar = 0.0;
+  Matrix matrix;
+  bool distributed = false;
+
+  static RtValue Scalar(double v);
+  static RtValue FromMatrix(Matrix m, bool distributed);
+
+  /// Scalar view; 1x1 matrices coerce.
+  Result<double> AsScalar() const;
+  /// Matrix view; scalars become 1x1 matrices.
+  Matrix AsMatrix() const;
+};
+
+/// Engine personality knobs used to emulate the comparator systems
+/// (paper Section 6.4).
+struct EngineTraits {
+  /// pbdR/ScaLAPACK: sparse matrices are handled as dense.
+  bool force_dense = false;
+  /// pbdR/SciDB: no dynamic local/distributed switch; every matrix
+  /// operator runs distributed.
+  bool force_distributed = false;
+  /// Multiplier on the dfs cost of loading/partitioning input data
+  /// (pbdR and SciDB partition inputs sequentially; SciDB additionally
+  /// pays a redimension pass).
+  double input_partition_factor = 1.0;
+};
+
+/// \brief Executes compiled statements against the simulated cluster.
+///
+/// Operators are computed for real with the local kernels while their
+/// distributed cost (FLOPs and transmission bytes) is booked into the
+/// ledger; see DESIGN.md for the substitution argument. Loops marked
+/// barrier_commit evaluate every non-temp assignment against the
+/// start-of-iteration environment and commit them together, which is how
+/// the optimizer's fully-inlined outputs preserve sequential semantics.
+class Executor {
+ public:
+  Executor(const ClusterModel& model, const DataCatalog* catalog,
+           TransmissionLedger* ledger, EngineTraits traits = {});
+
+  /// Runs a statement list. Loops run until their condition turns false
+  /// or `max_loop_iterations` is reached, whichever is first.
+  Status Run(const std::vector<CompiledStmt>& statements,
+             int max_loop_iterations = 1000);
+
+  /// Evaluates one plan tree in the current environment.
+  Result<RtValue> Eval(const PlanNode& node);
+
+  /// Environment access.
+  bool Has(const std::string& name) const { return env_.count(name) > 0; }
+  Result<RtValue> Get(const std::string& name) const;
+  void Set(const std::string& name, RtValue value);
+  const std::map<std::string, RtValue>& env() const { return env_; }
+
+  /// Books the dfs cost of partitioning every catalog dataset referenced
+  /// by read() into the cluster (Figure 12's "input partition" phase).
+  /// No-op for datasets already loaded.
+  void set_count_input_partition(bool on) { count_input_partition_ = on; }
+
+  int64_t ops_executed() const { return ops_executed_; }
+
+ private:
+  Result<RtValue> EvalImpl(const PlanNode& node);
+  /// Applies the engine personality to a produced value (pbdR/SciDB force
+  /// dense storage and distributed placement).
+  RtValue ApplyTraits(RtValue value) const;
+  Result<RtValue> EvalBinary(const PlanNode& node);
+  Result<RtValue> EvalGenerator(const PlanNode& node);
+  Result<RtValue> ReadDataset(const std::string& name);
+
+  ClusterModel model_;
+  const DataCatalog* catalog_;
+  TransmissionLedger* ledger_;
+  EngineTraits traits_;
+  std::map<std::string, RtValue> env_;
+  std::map<std::string, bool> loaded_datasets_;
+  bool count_input_partition_ = false;
+  int64_t ops_executed_ = 0;
+  uint64_t rand_counter_ = 0;
+};
+
+}  // namespace remac
+
+#endif  // REMAC_RUNTIME_EXECUTOR_H_

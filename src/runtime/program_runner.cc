@@ -1,0 +1,159 @@
+#include "runtime/program_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+#include "baselines/spores_optimizer.h"
+#include "baselines/systemds_optimizer.h"
+#include "sparsity/estimator.h"
+
+namespace remac {
+
+const char* OptimizerKindName(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kAsWritten: return "as-written";
+    case OptimizerKind::kSystemDs: return "SystemDS";
+    case OptimizerKind::kSystemDsNoCse: return "SystemDS*";
+    case OptimizerKind::kSpores: return "SPORES";
+    case OptimizerKind::kRemacNone: return "ReMac(none)";
+    case OptimizerKind::kRemacAutomatic: return "automatic";
+    case OptimizerKind::kRemacConservative: return "conservative";
+    case OptimizerKind::kRemacAggressive: return "aggressive";
+    case OptimizerKind::kRemacAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+const char* EstimatorKindName(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kMetadata: return "MD";
+    case EstimatorKind::kMnc: return "MNC";
+    case EstimatorKind::kSampling: return "Sample";
+    case EstimatorKind::kExact: return "Exact";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<SparsityEstimator> MakeEstimator(EstimatorKind kind,
+                                                 const DataCatalog* catalog) {
+  switch (kind) {
+    case EstimatorKind::kMetadata:
+      return std::make_unique<MetadataEstimator>();
+    case EstimatorKind::kMnc:
+      return std::make_unique<MncEstimator>();
+    case EstimatorKind::kSampling:
+      return std::make_unique<SamplingEstimator>();
+    case EstimatorKind::kExact: {
+      auto est = std::make_unique<ExactEstimator>();
+      est->AttachCatalog(catalog);
+      return est;
+    }
+  }
+  return std::make_unique<MetadataEstimator>();
+}
+
+EliminationStrategy StrategyFor(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kRemacNone:
+      return EliminationStrategy::kNone;
+    case OptimizerKind::kRemacAutomatic:
+      return EliminationStrategy::kAutomatic;
+    case OptimizerKind::kRemacConservative:
+      return EliminationStrategy::kConservative;
+    case OptimizerKind::kRemacAggressive:
+      return EliminationStrategy::kAggressive;
+    default:
+      return EliminationStrategy::kAdaptive;
+  }
+}
+
+Result<RunReport> RunInternal(const std::string& source,
+                              const DataCatalog& catalog,
+                              const RunConfig& config, bool execute) {
+  RunReport report;
+  REMAC_ASSIGN_OR_RETURN(const CompiledProgram program,
+                         CompileScript(source, catalog));
+  const std::unique_ptr<SparsityEstimator> estimator =
+      MakeEstimator(config.estimator, &catalog);
+
+  const auto compile_start = std::chrono::steady_clock::now();
+  CompiledProgram optimized;
+  switch (config.optimizer) {
+    case OptimizerKind::kAsWritten:
+      optimized = program;
+      break;
+    case OptimizerKind::kSystemDs:
+    case OptimizerKind::kSystemDsNoCse: {
+      SystemDsConfig sds;
+      sds.explicit_cse = config.optimizer == OptimizerKind::kSystemDs;
+      REMAC_ASSIGN_OR_RETURN(
+          optimized, SystemDsOptimize(program, config.cluster,
+                                      estimator.get(), &catalog, sds));
+      break;
+    }
+    case OptimizerKind::kSpores: {
+      REMAC_ASSIGN_OR_RETURN(
+          optimized, SporesOptimize(program, config.cluster, estimator.get(),
+                                    &catalog, SporesConfig{},
+                                    &report.optimize));
+      break;
+    }
+    default: {
+      OptimizerConfig opt;
+      opt.iterations = config.max_iterations;
+      opt.strategy = StrategyFor(config.optimizer);
+      opt.combiner = config.combiner;
+      opt.search = config.search;
+      opt.treewise_budget = config.treewise_budget;
+      opt.enum_budget = config.enum_budget;
+      opt.forced_option_keys = config.forced_option_keys;
+      ReMacOptimizer optimizer(config.cluster, estimator.get(), &catalog,
+                               opt);
+      REMAC_ASSIGN_OR_RETURN(optimized,
+                             optimizer.Optimize(program, &report.optimize));
+      break;
+    }
+  }
+  report.compile_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    compile_start)
+          .count();
+  report.optimized_source = optimized.ToString();
+  report.optimized_program =
+      std::make_shared<const CompiledProgram>(optimized);
+
+  TransmissionLedger ledger(config.cluster);
+  ledger.AddCompilationSeconds(report.compile_wall_seconds);
+  if (execute) {
+    Executor executor(config.cluster, &catalog, &ledger,
+                      TraitsFor(config.engine));
+    executor.set_count_input_partition(config.count_input_partition);
+    const int executed = config.executed_iterations > 0
+                             ? std::min(config.executed_iterations,
+                                        config.max_iterations)
+                             : config.max_iterations;
+    REMAC_RETURN_NOT_OK(executor.Run(optimized.statements, executed));
+    report.env = executor.env();
+  }
+  report.breakdown = ledger.Breakdown();
+  return report;
+}
+
+}  // namespace
+
+Result<RunReport> RunScript(const std::string& source,
+                            const DataCatalog& catalog,
+                            const RunConfig& config) {
+  return RunInternal(source, catalog, config, config.execute);
+}
+
+Result<RunReport> CompileOnly(const std::string& source,
+                              const DataCatalog& catalog,
+                              const RunConfig& config) {
+  return RunInternal(source, catalog, config, /*execute=*/false);
+}
+
+}  // namespace remac

@@ -1,0 +1,90 @@
+#ifndef REMAC_RUNTIME_PROGRAM_RUNNER_H_
+#define REMAC_RUNTIME_PROGRAM_RUNNER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/engine_modes.h"
+#include "cluster/transmission_ledger.h"
+#include "common/status.h"
+#include "core/adaptive_optimizer.h"
+#include <memory>
+
+#include "plan/plan_builder.h"
+#include "runtime/executor.h"
+
+namespace remac {
+
+/// Which compiler produces the executed plan.
+enum class OptimizerKind {
+  kAsWritten,          // no optimization at all (pbdR/SciDB style)
+  kSystemDs,           // explicit CSE + chain reordering
+  kSystemDsNoCse,      // SystemDS* of Figure 8(b)
+  kSpores,             // sampled implicit-CSE search
+  kRemacNone,          // ReMac pipeline, no elimination applied
+  kRemacAutomatic,     // automatic elimination, applied blindly
+  kRemacConservative,  // order-preserving options only
+  kRemacAggressive,    // everything, order-changing first
+  kRemacAdaptive,      // ReMac proper
+};
+
+const char* OptimizerKindName(OptimizerKind kind);
+
+enum class EstimatorKind { kMetadata, kMnc, kSampling, kExact };
+
+const char* EstimatorKindName(EstimatorKind kind);
+
+/// One experiment configuration: cluster, compiler, estimator, engine.
+struct RunConfig {
+  ClusterModel cluster;
+  OptimizerKind optimizer = OptimizerKind::kRemacAdaptive;
+  EstimatorKind estimator = EstimatorKind::kMnc;
+  CombinerKind combiner = CombinerKind::kDp;
+  EngineKind engine = EngineKind::kSystemDsLike;
+  /// Loop iteration cap; also the LSE amortization horizon.
+  int max_iterations = 20;
+  /// When > 0, the executor runs only this many loop iterations while the
+  /// optimizer still amortizes over max_iterations — benchmark harnesses
+  /// execute 1-2 real iterations and extrapolate the simulated loop time.
+  int executed_iterations = -1;
+  /// Book the dfs cost of partitioning inputs (Figure 12).
+  bool count_input_partition = false;
+  /// Skip execution (compile-only experiments, Figures 8(a)/10(a)).
+  bool execute = true;
+  /// Override the ReMac search method (Figure 8(a)'s tree-wise arm).
+  SearchMethod search = SearchMethod::kBlockWise;
+  int64_t treewise_budget = 5000000;
+  int64_t enum_budget = 100000;
+  /// Manual elimination: apply exactly these canonical option keys
+  /// (overrides the strategy of the ReMac optimizer kinds).
+  std::vector<std::string> forced_option_keys;
+};
+
+struct RunReport {
+  /// Simulated cluster time (includes real compile wall time).
+  TimeBreakdown breakdown;
+  double compile_wall_seconds = 0.0;
+  OptimizeReport optimize;  // populated by the ReMac/SPORES paths
+  std::map<std::string, RtValue> env;  // final variable values
+  std::string optimized_source;        // final program rendering
+  /// The optimized program itself (plan trees), for inspection and
+  /// visualization (see plan/plan_dot.h).
+  std::shared_ptr<const CompiledProgram> optimized_program;
+};
+
+/// Compiles `source` with the configured optimizer, executes it against
+/// the simulated cluster, and reports the simulated time breakdown plus
+/// the final environment. The one-call public API of the library.
+Result<RunReport> RunScript(const std::string& source,
+                            const DataCatalog& catalog,
+                            const RunConfig& config);
+
+/// Compile-only variant (used by compilation-time experiments).
+Result<RunReport> CompileOnly(const std::string& source,
+                              const DataCatalog& catalog,
+                              const RunConfig& config);
+
+}  // namespace remac
+
+#endif  // REMAC_RUNTIME_PROGRAM_RUNNER_H_

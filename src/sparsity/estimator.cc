@@ -1,0 +1,40 @@
+#include "sparsity/estimator.h"
+
+namespace remac {
+
+NodeStats SparsityEstimator::GeneratorStats(PlanOp op, int64_t rows,
+                                            int64_t cols) const {
+  NodeStats s;
+  s.rows = static_cast<double>(rows);
+  s.cols = static_cast<double>(cols);
+  switch (op) {
+    case PlanOp::kEye:
+      s.sparsity = rows > 0 ? 1.0 / static_cast<double>(rows) : 0.0;
+      break;
+    case PlanOp::kZeros:
+      s.sparsity = 0.0;
+      break;
+    case PlanOp::kOnes:
+    case PlanOp::kRand:
+      s.sparsity = 1.0;
+      break;
+    default:
+      s.sparsity = 1.0;
+      break;
+  }
+  return s;
+}
+
+NodeStats SparsityEstimator::ScalarBroadcast(PlanOp op,
+                                             const NodeStats& matrix) const {
+  NodeStats s = matrix;
+  if (op == PlanOp::kAdd || op == PlanOp::kSub) {
+    // Adding a (generally non-zero) scalar densifies.
+    s.sparsity = 1.0;
+    s.sketch.reset();
+    s.pattern.reset();
+  }
+  return s;
+}
+
+}  // namespace remac

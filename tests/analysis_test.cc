@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/scripts.h"
+#include "core/analysis.h"
+#include "data/generators.h"
+#include "plan/plan_builder.h"
+
+namespace remac {
+namespace {
+
+DataCatalog AnalysisCatalog() {
+  DataCatalog catalog;
+  DatasetSpec spec;
+  spec.name = "ds";
+  spec.rows = 100;
+  spec.cols = 8;
+  spec.sparsity = 0.5;
+  spec.seed = 1;
+  EXPECT_TRUE(RegisterDataset(&catalog, spec, true).ok());
+  return catalog;
+}
+
+TEST(FindLoop, SplitsProgram) {
+  const DataCatalog catalog = AnalysisCatalog();
+  auto program = CompileScript(DfpScript("ds", 5), catalog);
+  ASSERT_TRUE(program.ok());
+  const LoopStructure loop = FindLoop(*program);
+  ASSERT_NE(loop.loop, nullptr);
+  EXPECT_EQ(loop.preamble.size(), 5u);  // A, b, x, H, i
+  EXPECT_TRUE(loop.postamble.empty());
+  EXPECT_EQ(loop.loop_assigned,
+            (std::set<std::string>{"g", "d", "H", "x", "i"}));
+}
+
+TEST(FindLoop, NoLoopProgram) {
+  const DataCatalog catalog = AnalysisCatalog();
+  auto program = CompileScript(PartialDfpScript("ds"), catalog);
+  ASSERT_TRUE(program.ok());
+  const LoopStructure loop = FindLoop(*program);
+  EXPECT_EQ(loop.loop, nullptr);
+  EXPECT_EQ(loop.preamble.size(), 4u);
+}
+
+TEST(Inline, SubstitutesChainDefinitions) {
+  const DataCatalog catalog = AnalysisCatalog();
+  auto program = CompileScript(DfpScript("ds", 5), catalog);
+  ASSERT_TRUE(program.ok());
+  const LoopStructure loop = FindLoop(*program);
+  auto outputs = InlineLoopBody(loop.loop->body);
+  ASSERT_TRUE(outputs.ok());
+  ASSERT_EQ(outputs->size(), 5u);
+  // d = -(H g) is chain-like, so the H update sees H/g instead of d.
+  const std::string h_update = (*outputs)[2].plan->ToString();
+  EXPECT_EQ((*outputs)[2].target, "H");
+  EXPECT_EQ(h_update.find(" d"), std::string::npos) << h_update;
+  EXPECT_NE(h_update.find("g"), std::string::npos);
+}
+
+TEST(Inline, KeepsNonChainDefinitionsAsLeaves) {
+  const DataCatalog catalog = AnalysisCatalog();
+  auto program = CompileScript(DfpScript("ds", 5), catalog);
+  ASSERT_TRUE(program.ok());
+  const LoopStructure loop = FindLoop(*program);
+  auto outputs = InlineLoopBody(loop.loop->body);
+  ASSERT_TRUE(outputs.ok());
+  // g = t(A)(Ax - b) contains a subtraction: it must NOT be inlined into
+  // the H update (the paper's Figure 4 keeps g as a coordinate factor).
+  const std::string h_update = (*outputs)[2].plan->ToString();
+  EXPECT_NE(h_update.find("g"), std::string::npos);
+  EXPECT_EQ(h_update.find("read"), h_update.find("read"));  // smoke
+}
+
+TEST(Inline, StaleSafety) {
+  // v = A u (chain); A reassigned; w = v must NOT expand to the stale A.
+  const DataCatalog catalog = AnalysisCatalog();
+  auto program = CompileScript(
+      "A = read(\"ds\");\n"
+      "u = zeros(ncol(A), 1);\n"
+      "B = eye(8);\n"
+      "i = 0;\n"
+      "while (i < 2) {\n"
+      "  v = B %*% u;\n"
+      "  B = B + B;\n"
+      "  w = B %*% v;\n"
+      "  i = i + 1;\n"
+      "}\n",
+      catalog);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const LoopStructure loop = FindLoop(*program);
+  auto outputs = InlineLoopBody(loop.loop->body);
+  ASSERT_TRUE(outputs.ok());
+  // w's RHS must reference v (B changed in between), not (B %*% u).
+  const std::string w_plan = (*outputs)[2].plan->ToString();
+  EXPECT_NE(w_plan.find("v"), std::string::npos) << w_plan;
+  EXPECT_EQ(w_plan.find("u"), std::string::npos) << w_plan;
+}
+
+TEST(LoopConstants, LabelsLeavesAndInteriors) {
+  const DataCatalog catalog = AnalysisCatalog();
+  auto program = CompileScript(
+      "A = read(\"ds\");\nx = zeros(8, 1);\ny = t(A) %*% (A %*% x);\n",
+      catalog);
+  ASSERT_TRUE(program.ok());
+  PlanNodePtr plan = program->statements[2].plan->Clone();
+  LabelLoopConstants(plan.get(), /*loop_assigned=*/{"x"});
+  // Whole tree depends on x: not constant.
+  EXPECT_FALSE(plan->loop_constant);
+  // The t(A) subtree is constant.
+  EXPECT_TRUE(plan->children[0]->loop_constant);
+}
+
+TEST(Symmetry, StructuralRules) {
+  const DataCatalog catalog = AnalysisCatalog();
+  auto program = CompileScript(
+      "A = read(\"ds\");\n"
+      "E = eye(8);\n"
+      "S = t(A) %*% A;\n"
+      "N = A %*% t(A) %*% A;\n",
+      catalog);
+  ASSERT_TRUE(program.ok());
+  std::map<std::string, bool> vars;
+  PlanNodePtr s = program->statements[2].plan->Clone();
+  LabelSymmetry(s.get(), vars);
+  EXPECT_TRUE(IsStructurallySymmetric(*s));  // A^T A
+  PlanNodePtr n = program->statements[3].plan->Clone();
+  LabelSymmetry(n.get(), vars);
+  EXPECT_FALSE(IsStructurallySymmetric(*n));  // 100 x 8, not even square
+}
+
+TEST(Symmetry, DfpHessianApproximationStaysSymmetric) {
+  const DataCatalog catalog = AnalysisCatalog();
+  auto program = CompileScript(DfpScript("ds", 5), catalog);
+  ASSERT_TRUE(program.ok());
+  const LoopStructure loop = FindLoop(*program);
+  const auto symmetric = InferSymmetricVars(loop);
+  EXPECT_TRUE(symmetric.at("H"));   // eye + symmetric updates
+  EXPECT_FALSE(symmetric.at("x"));  // a vector
+  EXPECT_FALSE(symmetric.at("g"));
+}
+
+TEST(Symmetry, RetractsWhenUpdateBreaksIt) {
+  const DataCatalog catalog = AnalysisCatalog();
+  auto program = CompileScript(
+      "A = read(\"ds\");\n"
+      "M = eye(8);\n"
+      "i = 0;\n"
+      "while (i < 2) {\n"
+      "  M = M %*% t(A) %*% A %*% M %*% M;\n"  // M^T != M in general
+      "  i = i + 1;\n"
+      "}\n",
+      catalog);
+  ASSERT_TRUE(program.ok());
+  const LoopStructure loop = FindLoop(*program);
+  const auto symmetric = InferSymmetricVars(loop);
+  EXPECT_FALSE(symmetric.at("M"));
+}
+
+TEST(Symmetry, OuterProductIsSymmetric) {
+  const DataCatalog catalog = AnalysisCatalog();
+  auto program = CompileScript(
+      "v = zeros(8, 1);\nP = v %*% t(v);\n", catalog);
+  ASSERT_TRUE(program.ok());
+  PlanNodePtr p = program->statements[1].plan->Clone();
+  LabelSymmetry(p.get(), {});
+  EXPECT_TRUE(IsStructurallySymmetric(*p));
+}
+
+}  // namespace
+}  // namespace remac

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algorithms/scripts.h"
+#include "core/block_search.h"
+#include "data/generators.h"
+#include "plan/plan_builder.h"
+
+namespace remac {
+namespace {
+
+DataCatalog SearchCatalog() {
+  DataCatalog catalog;
+  DatasetSpec spec;
+  spec.name = "ds";
+  spec.rows = 100;
+  spec.cols = 8;
+  spec.sparsity = 0.5;
+  spec.seed = 2;
+  EXPECT_TRUE(RegisterDataset(&catalog, spec, true).ok());
+  return catalog;
+}
+
+SearchSpace SpaceFor(const std::string& script, const DataCatalog& catalog) {
+  auto program = CompileScript(script, catalog);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  LoopStructure loop = FindLoop(*program);
+  std::vector<CompiledStmt> body;
+  if (loop.loop != nullptr) {
+    body = loop.loop->body;
+  } else {
+    for (const auto& stmt : program->statements) {
+      body.push_back(stmt);
+      loop.loop_assigned.insert(stmt.target);
+    }
+  }
+  auto outputs = InlineLoopBody(body);
+  EXPECT_TRUE(outputs.ok());
+  auto space = BuildSearchSpace(*outputs, loop.loop_assigned,
+                                InferSymmetricVars(loop));
+  EXPECT_TRUE(space.ok()) << space.status().ToString();
+  return std::move(space).value();
+}
+
+const EliminationOption* FindByKey(
+    const std::vector<EliminationOption>& options, const std::string& key,
+    OptionKind kind) {
+  for (const auto& opt : options) {
+    if (opt.key == key && opt.kind == kind) return &opt;
+  }
+  return nullptr;
+}
+
+TEST(BlockSearch, FindsLseOfAtAInGd) {
+  const DataCatalog catalog = SearchCatalog();
+  const SearchSpace space = SpaceFor(GdScript("ds", 5), catalog);
+  SearchReport report;
+  const auto options = BlockWiseSearch(space, &report);
+  EXPECT_GT(report.windows_visited, 0);
+  // The implicit LSE of A^T A (A is loop-constant).
+  EXPECT_NE(FindByKey(options, JoinKey({"A'", "A"}), OptionKind::kLse),
+            nullptr);
+  // And of A^T b.
+  EXPECT_NE(
+      FindByKey(options, JoinKey({"A'", "b"}), OptionKind::kLse),
+      nullptr);
+}
+
+TEST(BlockSearch, FindsImplicitCseAcrossOrientations) {
+  const DataCatalog catalog = SearchCatalog();
+  const SearchSpace space = SpaceFor(DfpScript("ds", 5), catalog);
+  const auto options = BlockWiseSearch(space, nullptr);
+  // A^T A H g appears forward and reversed (the paper's
+  // d^T A^T A = (A^T A d)^T example, with d = Hg inlined); the canonical
+  // key has >= 2 occurrences with mixed orientations.
+  const EliminationOption* opt =
+      FindByKey(options, JoinKey({"A'", "A", "H@0", "g@1"}),
+                OptionKind::kCse);
+  ASSERT_NE(opt, nullptr);
+  EXPECT_GE(opt->occurrences.size(), 2u);
+  bool fwd = false;
+  bool rev = false;
+  for (const auto& occ : opt->occurrences) {
+    fwd = fwd || occ.forward;
+    rev = rev || !occ.forward;
+  }
+  EXPECT_TRUE(fwd && rev);
+}
+
+TEST(BlockSearch, DfpFindsManyOptions) {
+  const DataCatalog catalog = SearchCatalog();
+  const SearchSpace space = SpaceFor(DfpScript("ds", 5), catalog);
+  SearchReport report;
+  const auto options = BlockWiseSearch(space, &report);
+  EXPECT_GE(options.size(), 15u);
+  EXPECT_EQ(report.options_found, static_cast<int>(options.size()));
+  // Ids are dense and deterministic.
+  for (size_t i = 0; i < options.size(); ++i) {
+    EXPECT_EQ(options[i].id, static_cast<int>(i));
+  }
+}
+
+TEST(BlockSearch, DeterministicAcrossRuns) {
+  const DataCatalog catalog = SearchCatalog();
+  const SearchSpace space = SpaceFor(BfgsScript("ds", 5), catalog);
+  const auto a = BlockWiseSearch(space, nullptr);
+  const auto b = BlockWiseSearch(space, nullptr);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].occurrences.size(), b[i].occurrences.size());
+  }
+}
+
+TEST(BlockSearch, CseOccurrencesAreDisjoint) {
+  const DataCatalog catalog = SearchCatalog();
+  const SearchSpace space = SpaceFor(DfpScript("ds", 5), catalog);
+  for (const auto& opt : BlockWiseSearch(space, nullptr)) {
+    for (size_t i = 0; i < opt.occurrences.size(); ++i) {
+      for (size_t j = i + 1; j < opt.occurrences.size(); ++j) {
+        EXPECT_FALSE(opt.occurrences[i].Overlaps(opt.occurrences[j]))
+            << opt.ToString();
+      }
+    }
+  }
+}
+
+TEST(BlockSearch, LseWindowsAreAllLoopConstant) {
+  const DataCatalog catalog = SearchCatalog();
+  const SearchSpace space = SpaceFor(DfpScript("ds", 5), catalog);
+  for (const auto& opt : BlockWiseSearch(space, nullptr)) {
+    if (!opt.IsLse()) continue;
+    for (const auto& occ : opt.occurrences) {
+      EXPECT_TRUE(
+          space.blocks[occ.block_id].AllLoopConstant(occ.begin, occ.end))
+          << opt.ToString();
+    }
+  }
+}
+
+TEST(BlockSearch, NoLseInGnmf) {
+  const DataCatalog catalog = SearchCatalog();
+  // Both factors change every iteration; V alone is constant but a bare
+  // leaf is no computation. The only loop-constant computations would
+  // have to involve V with itself, which GNMF has none of.
+  const SearchSpace space = SpaceFor(GnmfScript("ds", 4, 5), catalog);
+  for (const auto& opt : BlockWiseSearch(space, nullptr)) {
+    EXPECT_FALSE(opt.IsLse()) << opt.ToString();
+  }
+}
+
+TEST(TreeWise, AgreesWithBlockWiseWhenComplete) {
+  const DataCatalog catalog = SearchCatalog();
+  const SearchSpace space = SpaceFor(GdScript("ds", 5), catalog);
+  const auto block = BlockWiseSearch(space, nullptr);
+  SearchReport report;
+  const auto tree = TreeWiseSearch(space, /*budget=*/100000000, &report);
+  EXPECT_GE(report.windows_visited, 0);  // not truncated
+  // Same option keys found (the paper: identical outputs, wildly
+  // different cost).
+  std::set<std::string> block_keys;
+  std::set<std::string> tree_keys;
+  for (const auto& o : block) {
+    block_keys.insert(o.key + (o.IsLse() ? "#L" : "#C"));
+  }
+  for (const auto& o : tree) {
+    tree_keys.insert(o.key + (o.IsLse() ? "#L" : "#C"));
+  }
+  EXPECT_EQ(block_keys, tree_keys);
+}
+
+TEST(TreeWise, BudgetTruncationReported) {
+  const DataCatalog catalog = SearchCatalog();
+  const SearchSpace space = SpaceFor(DfpScript("ds", 5), catalog);
+  SearchReport report;
+  TreeWiseSearch(space, /*budget=*/100, &report);
+  EXPECT_EQ(report.windows_visited, -1);  // truncated
+}
+
+TEST(TreeWise, VisitsFarMoreNodesThanBlockWise) {
+  const DataCatalog catalog = SearchCatalog();
+  const SearchSpace space = SpaceFor(DfpScript("ds", 5), catalog);
+  SearchReport block_report;
+  BlockWiseSearch(space, &block_report);
+  int64_t budget = 2000000;
+  SearchReport tree_report;
+  TreeWiseSearch(space, budget, &tree_report);
+  // The duplicated-search blowup of Section 3.1.
+  EXPECT_GT(tree_report.wall_seconds, 0.0);
+  EXPECT_GT(tree_report.wall_seconds, block_report.wall_seconds);
+}
+
+TEST(Sampled, FindsSubsetOfCseAndNoLse) {
+  const DataCatalog catalog = SearchCatalog();
+  const SearchSpace space = SpaceFor(DfpScript("ds", 5), catalog);
+  const auto full = BlockWiseSearch(space, nullptr);
+  const auto sampled = SampledSearch(space, 3, 8, nullptr);
+  std::set<std::string> full_keys;
+  for (const auto& o : full) full_keys.insert(o.key);
+  size_t lse = 0;
+  for (const auto& o : sampled) {
+    EXPECT_TRUE(full_keys.count(o.key)) << o.ToString();
+    lse += o.IsLse();
+  }
+  EXPECT_EQ(lse, 0u);                       // SPORES finds no LSE
+  EXPECT_LT(sampled.size(), full.size());   // and misses long-chain CSE
+}
+
+TEST(Options, ConflictSemantics) {
+  EliminationOption a;
+  a.occurrences = {{0, 2, 5, true}};
+  EliminationOption b;
+  b.occurrences = {{0, 3, 6, true}};  // partial overlap
+  EliminationOption c;
+  c.occurrences = {{0, 3, 5, true}};  // nested inside a
+  EliminationOption d;
+  d.occurrences = {{1, 2, 5, true}};  // other block
+  EliminationOption e;
+  e.occurrences = {{0, 2, 5, true}};  // identical range
+  EXPECT_TRUE(OptionsConflict(a, b));
+  EXPECT_FALSE(OptionsConflict(a, c));
+  EXPECT_FALSE(OptionsConflict(a, d));
+  EXPECT_TRUE(OptionsConflict(a, e));
+}
+
+}  // namespace
+}  // namespace remac

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "plan/chain.h"
+#include "plan/plan_builder.h"
+#include "plan/rewriter.h"
+
+namespace remac {
+namespace {
+
+DataCatalog ChainCatalog() {
+  DataCatalog catalog;
+  auto add = [&](const std::string& name, int64_t rows, int64_t cols) {
+    catalog.Register(name, Matrix::Zeros(rows, cols));
+  };
+  add("A", 50, 8);
+  add("H", 8, 8);
+  add("g", 8, 1);
+  return catalog;
+}
+
+Decomposition Decompose(const std::string& expr, const DataCatalog& catalog,
+                        bool mark_h_symmetric = false) {
+  std::string script =
+      "A = read(\"A\");\nH = read(\"H\");\ng = read(\"g\");\nout = " + expr +
+      ";\n";
+  auto program = CompileScript(script, catalog);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  PlanNodePtr plan = NormalizeForSearch(program->statements.back().plan);
+  if (mark_h_symmetric) {
+    std::function<void(PlanNode*)> mark = [&](PlanNode* node) {
+      if ((node->op == PlanOp::kInput || node->op == PlanOp::kReadData) &&
+          node->name == "H") {
+        node->symmetric = true;
+      }
+      for (auto& child : node->children) mark(child.get());
+    };
+    mark(plan.get());
+  }
+  auto d = DecomposeIntoBlocks(plan);
+  EXPECT_TRUE(d.ok()) << d.status().ToString();
+  return std::move(d).value();
+}
+
+TEST(Decompose, PureChainIsOneBlock) {
+  const DataCatalog catalog = ChainCatalog();
+  const Decomposition d = Decompose("t(A) %*% A %*% H %*% g", catalog);
+  ASSERT_EQ(d.blocks.size(), 1u);
+  EXPECT_EQ(d.blocks[0].factors.size(), 4u);
+  EXPECT_EQ(d.skeleton->op, PlanOp::kBlockRef);
+}
+
+TEST(Decompose, SplitsAtElementwiseOps) {
+  const DataCatalog catalog = ChainCatalog();
+  // H + (H %*% g) %*% t(g): two chain blocks joined by '+': {H}, {Hgg'}.
+  const Decomposition d = Decompose("H + H %*% g %*% t(g)", catalog);
+  ASSERT_EQ(d.blocks.size(), 2u);
+  EXPECT_EQ(d.skeleton->op, PlanOp::kAdd);
+  EXPECT_EQ(d.blocks[0].factors.size(), 1u);  // bare H is its own block
+  EXPECT_EQ(d.blocks[1].factors.size(), 3u);
+}
+
+TEST(Decompose, DivisionSeparatesNumeratorAndDenominator) {
+  const DataCatalog catalog = ChainCatalog();
+  const Decomposition d =
+      Decompose("(H %*% g) / (t(g) %*% H %*% g)", catalog);
+  ASSERT_EQ(d.blocks.size(), 2u);
+  EXPECT_EQ(d.skeleton->op, PlanOp::kDiv);
+  EXPECT_EQ(d.blocks[1].shape.rows, 1);  // 1x1 denominator chain
+  EXPECT_EQ(d.blocks[1].shape.cols, 1);
+}
+
+TEST(Decompose, TransposedLeafBecomesTransposedFactor) {
+  const DataCatalog catalog = ChainCatalog();
+  const Decomposition d = Decompose("t(A) %*% A", catalog);
+  ASSERT_EQ(d.blocks.size(), 1u);
+  const Block& block = d.blocks[0];
+  EXPECT_TRUE(block.factors[0].transposed);
+  EXPECT_FALSE(block.factors[1].transposed);
+  EXPECT_EQ(block.factors[0].Symbol(), "A'");
+  EXPECT_EQ(block.factors[1].Symbol(), "A");
+}
+
+TEST(WindowKeys, TransposeCanonicalization) {
+  const DataCatalog catalog = ChainCatalog();
+  // A^T A H g: the window [A', A] must share its key with the window
+  // [A', A] read backwards as (A^T A)^T.
+  const Decomposition d = Decompose("t(A) %*% A %*% H %*% g", catalog);
+  const Block& block = d.blocks[0];
+  const std::string ata = WindowKey(block, 0, 2);
+  // Forward string equals its own reverse-flip here (A^T A symmetric).
+  EXPECT_TRUE(WindowIsForward(block, 0, 2));
+  EXPECT_EQ(ata, JoinKey({"A'", "A"}));
+}
+
+TEST(WindowKeys, ReversedChainCollides) {
+  const DataCatalog catalog = ChainCatalog();
+  // (A^T A g) and (g^T A^T A): same canonical key, opposite orientation.
+  const Decomposition fwd = Decompose("t(A) %*% A %*% g", catalog);
+  const Decomposition rev = Decompose("t(g) %*% t(A) %*% A", catalog);
+  const std::string k1 =
+      WindowKey(fwd.blocks[0], 0, fwd.blocks[0].factors.size());
+  const std::string k2 =
+      WindowKey(rev.blocks[0], 0, rev.blocks[0].factors.size());
+  EXPECT_EQ(k1, k2);
+  EXPECT_NE(WindowIsForward(fwd.blocks[0], 0, 3),
+            WindowIsForward(rev.blocks[0], 0, 3));
+}
+
+TEST(WindowKeys, SymmetricLeafDropsTranspose) {
+  const DataCatalog catalog = ChainCatalog();
+  // With H symmetric, A H and H A^T canonicalize to the same key
+  // (paper Section 3.2 step 3).
+  const Decomposition ah =
+      Decompose("A %*% H", catalog, /*mark_h_symmetric=*/true);
+  const Decomposition hat =
+      Decompose("H %*% t(A)", catalog, /*mark_h_symmetric=*/true);
+  const std::string k1 = WindowKey(ah.blocks[0], 0, 2);
+  const std::string k2 = WindowKey(hat.blocks[0], 0, 2);
+  EXPECT_EQ(k1, k2);
+}
+
+TEST(WindowKeys, NonSymmetricLeafKeepsTranspose) {
+  const DataCatalog catalog = ChainCatalog();
+  const Decomposition ah = Decompose("A %*% H", catalog, false);
+  const Decomposition hat = Decompose("H %*% t(A)", catalog, false);
+  // Without the symmetry fact these must NOT collide.
+  EXPECT_NE(WindowKey(ah.blocks[0], 0, 2), WindowKey(hat.blocks[0], 0, 2));
+}
+
+TEST(Blocks, LoopConstantWindows) {
+  const DataCatalog catalog = ChainCatalog();
+  Decomposition d = Decompose("t(A) %*% A %*% H %*% g", catalog);
+  Block& block = d.blocks[0];
+  // Mark A loop-constant, H and g not.
+  block.factors[0].loop_constant = true;
+  block.factors[1].loop_constant = true;
+  EXPECT_TRUE(block.AllLoopConstant(0, 2));
+  EXPECT_FALSE(block.AllLoopConstant(0, 3));
+  EXPECT_FALSE(block.AllLoopConstant(2, 4));
+}
+
+TEST(Blocks, LeftDeepChainEvaluatesShape) {
+  const DataCatalog catalog = ChainCatalog();
+  const Decomposition d = Decompose("t(A) %*% A %*% H %*% g", catalog);
+  const PlanNodePtr plan = LeftDeepChain(d.blocks[0], 0, 4);
+  EXPECT_EQ(plan->shape.rows, 8);
+  EXPECT_EQ(plan->shape.cols, 1);
+  const PlanNodePtr sub = LeftDeepChain(d.blocks[0], 1, 3);  // A H
+  EXPECT_EQ(sub->shape.rows, 50);
+  EXPECT_EQ(sub->shape.cols, 8);
+}
+
+TEST(Blocks, FactorPlanAppliesTranspose) {
+  const DataCatalog catalog = ChainCatalog();
+  const Decomposition d = Decompose("t(A) %*% A", catalog);
+  const PlanNodePtr f0 = FactorPlan(d.blocks[0].factors[0]);
+  EXPECT_EQ(f0->op, PlanOp::kTranspose);
+  EXPECT_EQ(f0->shape.rows, 8);
+  EXPECT_EQ(f0->shape.cols, 50);
+}
+
+}  // namespace
+}  // namespace remac

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/analysis.h"
+#include "core/cross_block.h"
+#include "data/generators.h"
+#include "plan/plan_builder.h"
+#include "runtime/program_runner.h"
+
+namespace remac {
+namespace {
+
+DataCatalog XbCatalog() {
+  DataCatalog catalog;
+  Rng rng(55);
+  auto add = [&](const std::string& name, int64_t rows, int64_t cols,
+                 uint64_t seed) {
+    DatasetSpec spec;
+    spec.name = name;
+    spec.rows = rows;
+    spec.cols = cols;
+    spec.sparsity = 0.6;
+    spec.seed = seed;
+    catalog.Register(name, GenerateMatrix(spec));
+  };
+  add("P", 12, 12, 1);
+  add("X", 12, 12, 2);
+  add("Y", 12, 12, 3);
+  add("Z", 12, 12, 4);
+  add("Q", 12, 12, 5);
+  return catalog;
+}
+
+/// The paper's example: P XY + P YZ + XY Q + YZ Q has a grouped common
+/// subexpression XY + YZ across four blocks.
+const char* kPaperExample =
+    "P = read(\"P\");\n"
+    "X = read(\"X\");\n"
+    "Y = read(\"Y\");\n"
+    "Z = read(\"Z\");\n"
+    "Q = read(\"Q\");\n"
+    "i = 0;\n"
+    "while (i < 2) {\n"
+    "  R = P %*% X %*% Y + P %*% Y %*% Z + X %*% Y %*% Q "
+    "+ Y %*% Z %*% Q;\n"
+    "  P = P + R;\n"
+    "  i = i + 1;\n"
+    "}\n";
+
+TEST(CrossBlock, FindsThePaperExample) {
+  const DataCatalog catalog = XbCatalog();
+  auto program = CompileScript(kPaperExample, catalog);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const LoopStructure loop = FindLoop(*program);
+  auto outputs = InlineLoopBody(loop.loop->body);
+  ASSERT_TRUE(outputs.ok());
+  const size_t before = outputs->size();
+  auto options = ApplyCrossBlockCse(&*outputs, loop.loop_assigned);
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  ASSERT_EQ(options->size(), 1u);
+  EXPECT_EQ((*options)[0].num_sites, 2);
+  // A temp statement computing XY + YZ was inserted.
+  EXPECT_EQ(outputs->size(), before + 1);
+  bool found_temp = false;
+  for (const auto& out : *outputs) {
+    found_temp = found_temp || out.target == (*options)[0].temp_name;
+  }
+  EXPECT_TRUE(found_temp);
+}
+
+TEST(CrossBlock, NoFalsePositivesOnDfp) {
+  DataCatalog catalog;
+  DatasetSpec spec;
+  spec.name = "ds";
+  spec.rows = 100;
+  spec.cols = 8;
+  spec.sparsity = 0.5;
+  spec.seed = 9;
+  ASSERT_TRUE(RegisterDataset(&catalog, spec).ok());
+  auto program = CompileScript(
+      "A = read(\"ds\");\nb = read(\"ds_b\");\n"
+      "x = zeros(8, 1);\nH = eye(8);\ni = 0;\n"
+      "while (i < 2) {\n"
+      "  g = t(A) %*% (A %*% x - b);\n"
+      "  x = x - 0.1 * (H %*% g);\n"
+      "  i = i + 1;\n"
+      "}\n",
+      catalog);
+  ASSERT_TRUE(program.ok());
+  const LoopStructure loop = FindLoop(*program);
+  auto outputs = InlineLoopBody(loop.loop->body);
+  ASSERT_TRUE(outputs.ok());
+  auto options = ApplyCrossBlockCse(&*outputs, loop.loop_assigned);
+  ASSERT_TRUE(options.ok());
+  EXPECT_TRUE(options->empty());
+}
+
+TEST(CrossBlock, EndToEndValuePreserved) {
+  const DataCatalog catalog = XbCatalog();
+  RunConfig reference;
+  reference.optimizer = OptimizerKind::kAsWritten;
+  reference.max_iterations = 2;
+  auto expected = RunScript(kPaperExample, catalog, reference);
+  ASSERT_TRUE(expected.ok());
+  RunConfig config;
+  config.optimizer = OptimizerKind::kRemacAdaptive;
+  config.max_iterations = 2;
+  auto run = RunScript(kPaperExample, catalog, config);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(run->optimize.applied_cross_block, 0);
+  EXPECT_TRUE(run->env.at("P").AsMatrix().ApproxEquals(
+      expected->env.at("P").AsMatrix(), 1e-6));
+}
+
+TEST(CrossBlock, VersionMismatchBlocksUnification) {
+  // The "same" grouped sum, but one site reads M after it was updated:
+  // the two sites must not unify.
+  const DataCatalog catalog = XbCatalog();
+  auto program = CompileScript(
+      "P = read(\"P\");\nX = read(\"X\");\nY = read(\"Y\");\n"
+      "Z = read(\"Z\");\nQ = read(\"Q\");\nM = read(\"X\");\ni = 0;\n"
+      "while (i < 2) {\n"
+      "  R = P %*% M %*% Y + P %*% Y %*% Z;\n"
+      "  M = M + M;\n"
+      "  S = M %*% Y %*% Q + Y %*% Z %*% Q;\n"
+      "  i = i + 1;\n"
+      "}\n",
+      catalog);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const LoopStructure loop = FindLoop(*program);
+  auto outputs = InlineLoopBody(loop.loop->body);
+  ASSERT_TRUE(outputs.ok());
+  auto options = ApplyCrossBlockCse(&*outputs, loop.loop_assigned);
+  ASSERT_TRUE(options.ok());
+  // The grouped sums are "M Y + Y Z" at version 0 of M (in R) and at
+  // version 1 of M (in S) — different values, no unification.
+  EXPECT_TRUE(options->empty());
+  // And the rewritten program still executes to the right values.
+  RunConfig config;
+  config.optimizer = OptimizerKind::kRemacAdaptive;
+  config.max_iterations = 2;
+  auto run = RunScript(program->ToString(), catalog, config);
+  ASSERT_TRUE(run.ok());
+}
+
+}  // namespace
+}  // namespace remac

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "plan/plan_builder.h"
+#include "runtime/executor.h"
+
+namespace remac {
+namespace {
+
+DataCatalog ExecCatalog() {
+  DataCatalog catalog;
+  DatasetSpec spec;
+  spec.name = "ds";
+  spec.rows = 50;
+  spec.cols = 6;
+  spec.sparsity = 0.5;
+  spec.seed = 9;
+  EXPECT_TRUE(RegisterDataset(&catalog, spec).ok());
+  return catalog;
+}
+
+Result<RtValue> RunAndGet(const std::string& script, const std::string& var,
+                          const DataCatalog& catalog,
+                          int max_iterations = 100) {
+  auto program = CompileScript(script, catalog);
+  if (!program.ok()) return program.status();
+  Executor executor(ClusterModel(), &catalog, nullptr);
+  REMAC_RETURN_NOT_OK(executor.Run(program->statements, max_iterations));
+  return executor.Get(var);
+}
+
+TEST(Executor, ScalarArithmetic) {
+  const DataCatalog catalog = ExecCatalog();
+  auto v = RunAndGet("x = (2 + 3) * 4 - 6 / 3;\n", "x", catalog);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsScalar().value(), 18.0);
+}
+
+TEST(Executor, WhileLoopRunsUntilConditionFalse) {
+  const DataCatalog catalog = ExecCatalog();
+  auto v = RunAndGet("i = 0;\nwhile (i < 7) {\n  i = i + 1;\n}\n", "i",
+                     catalog);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsScalar().value(), 7.0);
+}
+
+TEST(Executor, WhileLoopRespectsIterationCap) {
+  const DataCatalog catalog = ExecCatalog();
+  auto v = RunAndGet("i = 0;\nwhile (i < 1000) {\n  i = i + 1;\n}\n", "i",
+                     catalog, /*max_iterations=*/5);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsScalar().value(), 5.0);
+}
+
+TEST(Executor, ForLoopCounts) {
+  const DataCatalog catalog = ExecCatalog();
+  auto v = RunAndGet("s = 0;\nfor (k in 1:4) {\n  s = s + k;\n}\n", "s",
+                     catalog);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsScalar().value(), 10.0);
+}
+
+TEST(Executor, Generators) {
+  const DataCatalog catalog = ExecCatalog();
+  auto eye = RunAndGet("E = eye(3);\n", "E", catalog);
+  ASSERT_TRUE(eye.ok());
+  EXPECT_DOUBLE_EQ(eye->AsMatrix().At(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye->AsMatrix().At(0, 1), 0.0);
+  auto ones = RunAndGet("O = ones(2, 3);\n", "O", catalog);
+  ASSERT_TRUE(ones.ok());
+  EXPECT_EQ(ones->AsMatrix().nnz(), 6);
+  auto zeros = RunAndGet("Z = zeros(2, 2);\n", "Z", catalog);
+  ASSERT_TRUE(zeros.ok());
+  EXPECT_EQ(zeros->AsMatrix().nnz(), 0);
+  auto rnd = RunAndGet("R = rand(4, 4);\n", "R", catalog);
+  ASSERT_TRUE(rnd.ok());
+  EXPECT_EQ(rnd->AsMatrix().nnz(), 16);  // strictly positive generator
+}
+
+TEST(Executor, MatrixScalarBroadcasts) {
+  const DataCatalog catalog = ExecCatalog();
+  auto v = RunAndGet("M = ones(2, 2);\nY = 2 * M + 1;\n", "Y", catalog);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsMatrix().At(0, 0), 3.0);
+  auto w = RunAndGet("M = ones(2, 2);\nY = 1 - M;\n", "Y", catalog);
+  ASSERT_TRUE(w.ok());
+  EXPECT_DOUBLE_EQ(w->AsMatrix().At(1, 1), 0.0);
+}
+
+TEST(Executor, OneByOneMatrixActsAsScalar) {
+  const DataCatalog catalog = ExecCatalog();
+  // t(v) %*% v is a 1x1 matrix; dividing by it must work.
+  auto v = RunAndGet("v = ones(3, 1);\nY = v / (t(v) %*% v);\n", "Y",
+                     catalog);
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(v->AsMatrix().At(0, 0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Executor, SumNormNcolNrow) {
+  const DataCatalog catalog = ExecCatalog();
+  auto s = RunAndGet("M = ones(2, 3);\ny = sum(M);\n", "y", catalog);
+  EXPECT_DOUBLE_EQ(s->AsScalar().value(), 6.0);
+  auto n = RunAndGet("M = ones(2, 2);\ny = norm(M);\n", "y", catalog);
+  EXPECT_DOUBLE_EQ(n->AsScalar().value(), 2.0);
+  auto q = RunAndGet("y = sqrt(16) + abs(0 - 2);\n", "y", catalog);
+  EXPECT_DOUBLE_EQ(q->AsScalar().value(), 6.0);
+}
+
+TEST(Executor, ReadMarksDistributed) {
+  const DataCatalog catalog = ExecCatalog();
+  auto program = CompileScript("A = read(\"ds\");\n", catalog);
+  ASSERT_TRUE(program.ok());
+  Executor executor(ClusterModel(), &catalog, nullptr);
+  ASSERT_TRUE(executor.Run(program->statements).ok());
+  EXPECT_TRUE(executor.Get("A")->distributed);
+}
+
+TEST(Executor, InputPartitionBookedOncePerDataset) {
+  const DataCatalog catalog = ExecCatalog();
+  auto program = CompileScript(
+      "A = read(\"ds\");\nB = read(\"ds\");\n", catalog);
+  ASSERT_TRUE(program.ok());
+  ClusterModel model;
+  TransmissionLedger ledger(model);
+  Executor executor(model, &catalog, &ledger);
+  executor.set_count_input_partition(true);
+  ASSERT_TRUE(executor.Run(program->statements).ok());
+  const double once = ledger.Breakdown().input_partition_seconds;
+  EXPECT_GT(once, 0.0);
+  // A second read of the same dataset books nothing extra.
+  auto again = CompileScript("C = read(\"ds\");\n", catalog);
+  ASSERT_TRUE(executor.Run(again->statements).ok());
+  EXPECT_DOUBLE_EQ(ledger.Breakdown().input_partition_seconds, once);
+}
+
+TEST(Executor, BarrierCommitUsesStartOfIterationValues) {
+  const DataCatalog catalog = ExecCatalog();
+  auto program = CompileScript(
+      "a = 1;\nb = 10;\ni = 0;\n"
+      "while (i < 1) {\n  a = b;\n  b = a;\n  i = i + 1;\n}\n",
+      catalog);
+  ASSERT_TRUE(program.ok());
+  // Sequential: a=10, b=10. Barrier-commit: a=10, b=1 (old a).
+  for (auto& stmt : program->statements) {
+    if (stmt.kind == CompiledStmt::Kind::kLoop) stmt.barrier_commit = true;
+  }
+  Executor executor(ClusterModel(), &catalog, nullptr);
+  ASSERT_TRUE(executor.Run(program->statements).ok());
+  EXPECT_DOUBLE_EQ(executor.Get("a")->AsScalar().value(), 10.0);
+  EXPECT_DOUBLE_EQ(executor.Get("b")->AsScalar().value(), 1.0);
+}
+
+TEST(Executor, UndefinedVariableError) {
+  const DataCatalog catalog = ExecCatalog();
+  PlanNodePtr bad = MakeInput("ghost", Shape{2, 2, false});
+  Executor executor(ClusterModel(), &catalog, nullptr);
+  EXPECT_EQ(executor.Eval(*bad).status().code(), StatusCode::kNotFound);
+}
+
+TEST(Executor, LedgerAccumulatesDuringExecution) {
+  const DataCatalog catalog = ExecCatalog();
+  auto program = CompileScript(
+      "A = read(\"ds\");\nv = ones(6, 1);\nw = A %*% v;\n", catalog);
+  ASSERT_TRUE(program.ok());
+  ClusterModel model;
+  TransmissionLedger ledger(model);
+  Executor executor(model, &catalog, &ledger);
+  ASSERT_TRUE(executor.Run(program->statements).ok());
+  EXPECT_GT(ledger.TotalSeconds(), 0.0);
+  EXPECT_GT(executor.ops_executed(), 0);
+}
+
+}  // namespace
+}  // namespace remac

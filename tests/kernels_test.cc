@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "matrix/kernels.h"
+
+namespace remac {
+namespace {
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, double sparsity,
+                    uint64_t seed, bool force_dense_format) {
+  Rng rng(seed);
+  DenseMatrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    if (rng.NextDouble() < sparsity) m.data()[i] = rng.NextGaussian();
+  }
+  if (force_dense_format) return Matrix::WrapDense(std::move(m));
+  return Matrix::WrapCsr(CsrMatrix::FromDense(m));
+}
+
+DenseMatrix NaiveMultiply(const Matrix& a, const Matrix& b) {
+  const DenseMatrix da = a.ToDense();
+  const DenseMatrix db = b.ToDense();
+  DenseMatrix c(da.rows(), db.cols());
+  for (int64_t i = 0; i < da.rows(); ++i) {
+    for (int64_t j = 0; j < da.cols(); ++j) {
+      for (int64_t k = 0; k < db.cols(); ++k) {
+        c.At(i, k) += da.At(i, j) * db.At(j, k);
+      }
+    }
+  }
+  return c;
+}
+
+/// All four format combinations must agree with the naive reference.
+class MultiplyFormatTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(MultiplyFormatTest, MatchesNaive) {
+  const auto [a_dense, b_dense] = GetParam();
+  const Matrix a = RandomMatrix(17, 23, 0.3, 1, a_dense);
+  const Matrix b = RandomMatrix(23, 11, 0.3, 2, b_dense);
+  auto c = Multiply(a, b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->ToDense().ApproxEquals(NaiveMultiply(a, b), 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, MultiplyFormatTest,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+TEST(Kernels, MultiplyDimensionMismatch) {
+  const Matrix a = RandomMatrix(3, 4, 1.0, 3, true);
+  const Matrix b = RandomMatrix(5, 2, 1.0, 4, true);
+  EXPECT_EQ(Multiply(a, b).status().code(), StatusCode::kDimensionMismatch);
+}
+
+TEST(Kernels, TransposeBothFormats) {
+  for (bool dense : {true, false}) {
+    const Matrix a = RandomMatrix(7, 13, 0.4, 5, dense);
+    const Matrix t = Transpose(a);
+    EXPECT_EQ(t.rows(), 13);
+    EXPECT_EQ(t.cols(), 7);
+    for (int64_t r = 0; r < 7; ++r) {
+      for (int64_t c = 0; c < 13; ++c) {
+        EXPECT_EQ(a.At(r, c), t.At(c, r));
+      }
+    }
+  }
+}
+
+TEST(Kernels, TransposeInvolution) {
+  const Matrix a = RandomMatrix(9, 6, 0.2, 6, false);
+  EXPECT_TRUE(Transpose(Transpose(a)).ApproxEquals(a));
+}
+
+TEST(Kernels, AddSubElementwise) {
+  for (bool dense : {true, false}) {
+    const Matrix a = RandomMatrix(8, 8, 0.3, 7, dense);
+    const Matrix b = RandomMatrix(8, 8, 0.3, 8, dense);
+    auto sum = Add(a, b);
+    auto diff = Subtract(a, b);
+    ASSERT_TRUE(sum.ok());
+    ASSERT_TRUE(diff.ok());
+    for (int64_t r = 0; r < 8; ++r) {
+      for (int64_t c = 0; c < 8; ++c) {
+        EXPECT_NEAR(sum->At(r, c), a.At(r, c) + b.At(r, c), 1e-12);
+        EXPECT_NEAR(diff->At(r, c), a.At(r, c) - b.At(r, c), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Kernels, AddMixedFormats) {
+  const Matrix a = RandomMatrix(6, 6, 0.3, 9, true);
+  const Matrix b = RandomMatrix(6, 6, 0.3, 10, false);
+  auto sum = Add(a, b);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_NEAR(sum->At(2, 2), a.At(2, 2) + b.At(2, 2), 1e-12);
+}
+
+TEST(Kernels, ElementwiseMultiplyAndSafeDivide) {
+  const Matrix a = RandomMatrix(5, 5, 0.6, 11, false);
+  const Matrix b = RandomMatrix(5, 5, 0.6, 12, false);
+  auto prod = ElementwiseMultiply(a, b);
+  auto quot = ElementwiseDivide(a, b);
+  ASSERT_TRUE(prod.ok());
+  ASSERT_TRUE(quot.ok());
+  for (int64_t r = 0; r < 5; ++r) {
+    for (int64_t c = 0; c < 5; ++c) {
+      EXPECT_NEAR(prod->At(r, c), a.At(r, c) * b.At(r, c), 1e-12);
+      const double expected =
+          b.At(r, c) == 0.0 ? 0.0 : a.At(r, c) / b.At(r, c);
+      EXPECT_NEAR(quot->At(r, c), expected, 1e-12);
+    }
+  }
+}
+
+TEST(Kernels, ScalarOps) {
+  const Matrix a = RandomMatrix(4, 4, 0.5, 13, false);
+  const Matrix scaled = ScalarMultiply(a, -2.0);
+  const Matrix shifted = ScalarAdd(a, 1.5);
+  const Matrix negated = Negate(a);
+  for (int64_t r = 0; r < 4; ++r) {
+    for (int64_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(scaled.At(r, c), -2.0 * a.At(r, c), 1e-12);
+      EXPECT_NEAR(shifted.At(r, c), a.At(r, c) + 1.5, 1e-12);
+      EXPECT_NEAR(negated.At(r, c), -a.At(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(Kernels, Reductions) {
+  DenseMatrix d(2, 2, {3.0, 0.0, -4.0, 0.0});
+  const Matrix m = Matrix::WrapDense(std::move(d));
+  EXPECT_DOUBLE_EQ(SumAll(m), -1.0);
+  EXPECT_DOUBLE_EQ(FrobeniusNorm(m), 5.0);
+}
+
+TEST(Kernels, MultiplyNnzExactMatchesActual) {
+  const Matrix a = RandomMatrix(20, 30, 0.1, 14, false);
+  const Matrix b = RandomMatrix(30, 25, 0.1, 15, false);
+  auto nnz = MultiplyNnzExact(a, b);
+  ASSERT_TRUE(nnz.ok());
+  auto c = Multiply(a, b);
+  ASSERT_TRUE(c.ok());
+  // Pattern-product nnz >= value nnz (cancellation only removes entries).
+  EXPECT_GE(nnz.value(), c->nnz());
+  // With random values cancellation is (a.s.) absent.
+  EXPECT_EQ(nnz.value(), c->nnz());
+}
+
+TEST(Kernels, ThreadOverrideRoundTrips) {
+  const int original = KernelThreads();
+  SetKernelThreads(2);
+  EXPECT_EQ(KernelThreads(), 2);
+  SetKernelThreads(0);
+  EXPECT_EQ(KernelThreads(), original);
+}
+
+TEST(Kernels, LargeParallelMultiplyMatchesSerial) {
+  const Matrix a = RandomMatrix(600, 40, 0.5, 16, true);
+  const Matrix b = RandomMatrix(40, 30, 0.5, 17, true);
+  SetKernelThreads(1);
+  auto serial = Multiply(a, b);
+  SetKernelThreads(8);
+  auto parallel = Multiply(a, b);
+  SetKernelThreads(0);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_TRUE(serial->ApproxEquals(*parallel, 1e-12));
+}
+
+/// Associativity: (AB)C == A(BC) across random shapes.
+class AssociativityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssociativityTest, HoldsNumerically) {
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  const int64_t m = 2 + rng.NextBounded(10);
+  const int64_t k1 = 2 + rng.NextBounded(10);
+  const int64_t k2 = 2 + rng.NextBounded(10);
+  const int64_t n = 2 + rng.NextBounded(10);
+  const Matrix a = RandomMatrix(m, k1, 0.5, seed * 3 + 1, seed % 2 == 0);
+  const Matrix b = RandomMatrix(k1, k2, 0.5, seed * 3 + 2, seed % 3 == 0);
+  const Matrix c = RandomMatrix(k2, n, 0.5, seed * 3 + 3, true);
+  const Matrix left = Multiply(Multiply(a, b).value(), c).value();
+  const Matrix right = Multiply(a, Multiply(b, c).value()).value();
+  EXPECT_TRUE(left.ApproxEquals(right, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AssociativityTest, ::testing::Range(0, 12));
+
+/// (AB)^T == B^T A^T.
+class TransposeProductTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransposeProductTest, Holds) {
+  const int seed = GetParam();
+  const Matrix a = RandomMatrix(6 + seed, 9, 0.4, seed + 100, seed % 2 == 0);
+  const Matrix b = RandomMatrix(9, 4 + seed, 0.4, seed + 200, seed % 2 == 1);
+  const Matrix lhs = Transpose(Multiply(a, b).value());
+  const Matrix rhs = Multiply(Transpose(b), Transpose(a)).value();
+  EXPECT_TRUE(lhs.ApproxEquals(rhs, 1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TransposeProductTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace remac

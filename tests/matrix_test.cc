@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "matrix/csr_matrix.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/matrix.h"
+
+namespace remac {
+namespace {
+
+TEST(DenseMatrix, ConstructionAndAccess) {
+  DenseMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6);
+  m.At(1, 2) = 5.0;
+  EXPECT_EQ(m.At(1, 2), 5.0);
+  EXPECT_EQ(m.At(0, 0), 0.0);
+}
+
+TEST(DenseMatrix, Identity) {
+  const DenseMatrix id = DenseMatrix::Identity(3);
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(id.At(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(DenseMatrix, SparsityAndNnz) {
+  DenseMatrix m(2, 2);
+  m.At(0, 1) = 3.0;
+  EXPECT_EQ(m.CountNonZeros(), 1);
+  EXPECT_DOUBLE_EQ(m.Sparsity(), 0.25);
+}
+
+TEST(DenseMatrix, ApproxEquals) {
+  DenseMatrix a(1, 2, {1.0, 2.0});
+  DenseMatrix b(1, 2, {1.0, 2.0 + 1e-12});
+  DenseMatrix c(1, 2, {1.0, 2.5});
+  EXPECT_TRUE(a.ApproxEquals(b));
+  EXPECT_FALSE(a.ApproxEquals(c));
+  EXPECT_FALSE(a.ApproxEquals(DenseMatrix(2, 1)));
+}
+
+TEST(CsrMatrix, FromTripletsSortsAndMerges) {
+  auto m = CsrMatrix::FromTriplets(
+      3, 3, {{2, 1, 5.0}, {0, 2, 1.0}, {0, 2, 2.0}, {1, 0, 4.0}});
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_EQ(m.ToDense().At(0, 2), 3.0);  // duplicates summed
+  EXPECT_EQ(m.ToDense().At(1, 0), 4.0);
+  EXPECT_EQ(m.ToDense().At(2, 1), 5.0);
+}
+
+TEST(CsrMatrix, RoundTripThroughDense) {
+  DenseMatrix d(3, 4);
+  d.At(0, 0) = 1.0;
+  d.At(2, 3) = -2.0;
+  d.At(1, 2) = 0.5;
+  const CsrMatrix sparse = CsrMatrix::FromDense(d);
+  EXPECT_EQ(sparse.nnz(), 3);
+  EXPECT_TRUE(sparse.ToDense().ApproxEquals(d));
+}
+
+TEST(CsrMatrix, RowAndColCounts) {
+  auto m = CsrMatrix::FromTriplets(3, 3,
+                                   {{0, 0, 1.0}, {0, 1, 1.0}, {2, 1, 1.0}});
+  const auto rows = m.RowCounts();
+  const auto cols = m.ColCounts();
+  EXPECT_EQ(rows, (std::vector<int64_t>{2, 0, 1}));
+  EXPECT_EQ(cols, (std::vector<int64_t>{1, 2, 0}));
+}
+
+TEST(CsrMatrix, EmptyRows) {
+  const CsrMatrix m(4, 4);
+  EXPECT_EQ(m.nnz(), 0);
+  for (int64_t r = 0; r < 4; ++r) EXPECT_EQ(m.RowNnz(r), 0);
+}
+
+TEST(Matrix, FormatSelectionBySparsity) {
+  DenseMatrix dense(10, 10);
+  for (int64_t i = 0; i < 100; ++i) dense.data()[i] = 1.0;
+  EXPECT_TRUE(Matrix::FromDense(dense).is_dense());
+
+  DenseMatrix sparse(10, 10);
+  sparse.At(0, 0) = 1.0;
+  const Matrix m = Matrix::FromDense(sparse);
+  EXPECT_FALSE(m.is_dense());  // sparsity 0.01 <= 0.4 -> CSR
+  EXPECT_EQ(m.nnz(), 1);
+}
+
+TEST(Matrix, FromCsrDensifiesWhenDense) {
+  DenseMatrix dense(4, 4);
+  for (int64_t i = 0; i < 16; ++i) dense.data()[i] = 2.0;
+  const Matrix m = Matrix::FromCsr(CsrMatrix::FromDense(dense));
+  EXPECT_TRUE(m.is_dense());
+}
+
+TEST(Matrix, IdentityAndZeros) {
+  const Matrix id = Matrix::Identity(5);
+  EXPECT_EQ(id.nnz(), 5);
+  EXPECT_EQ(id.At(3, 3), 1.0);
+  EXPECT_EQ(id.At(3, 2), 0.0);
+  const Matrix z = Matrix::Zeros(3, 7);
+  EXPECT_EQ(z.nnz(), 0);
+  EXPECT_EQ(z.rows(), 3);
+  EXPECT_EQ(z.cols(), 7);
+}
+
+TEST(Matrix, SharedPayloadCopiesAreCheap) {
+  DenseMatrix d(100, 100);
+  d.At(1, 1) = 9.0;
+  const Matrix a = Matrix::WrapDense(std::move(d));
+  const Matrix b = a;  // shares the payload
+  EXPECT_EQ(&a.dense(), &b.dense());
+}
+
+TEST(Matrix, AtInBothFormats) {
+  auto csr = CsrMatrix::FromTriplets(2, 3, {{0, 1, 7.0}, {1, 2, 8.0}});
+  const Matrix sparse = Matrix::WrapCsr(csr);
+  EXPECT_EQ(sparse.At(0, 1), 7.0);
+  EXPECT_EQ(sparse.At(0, 0), 0.0);
+  const Matrix dense = Matrix::WrapDense(csr.ToDense());
+  EXPECT_EQ(dense.At(1, 2), 8.0);
+  EXPECT_TRUE(sparse.ApproxEquals(dense));
+}
+
+TEST(Matrix, SizeInBytesReflectsFormat) {
+  DenseMatrix d(100, 100);
+  d.At(0, 0) = 1.0;
+  const Matrix sparse = Matrix::FromDense(d);
+  const Matrix dense = Matrix::WrapDense(std::move(d));
+  EXPECT_LT(sparse.SizeInBytes(), dense.SizeInBytes());
+}
+
+}  // namespace
+}  // namespace remac

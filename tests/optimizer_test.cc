@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/scripts.h"
+#include "core/adaptive_optimizer.h"
+#include "data/generators.h"
+#include "plan/plan_builder.h"
+#include "runtime/executor.h"
+#include "sparsity/estimator.h"
+
+namespace remac {
+namespace {
+
+DataCatalog OptCatalog(int64_t rows = 300, int64_t cols = 10) {
+  DataCatalog catalog;
+  DatasetSpec spec;
+  spec.name = "ds";
+  spec.rows = rows;
+  spec.cols = cols;
+  spec.sparsity = 0.5;
+  spec.seed = 6;
+  EXPECT_TRUE(RegisterDataset(&catalog, spec, true).ok());
+  return catalog;
+}
+
+Result<CompiledProgram> OptimizeScript(const std::string& script,
+                                       const DataCatalog& catalog,
+                                       OptimizerConfig config,
+                                       OptimizeReport* report = nullptr) {
+  auto program = CompileScript(script, catalog);
+  if (!program.ok()) return program.status();
+  static MetadataEstimator estimator;
+  ReMacOptimizer optimizer(ClusterModel(), &estimator, &catalog, config);
+  return optimizer.Optimize(*program, report);
+}
+
+Matrix RunProgram(const CompiledProgram& program, const DataCatalog& catalog,
+                  const std::string& var, int iterations) {
+  Executor executor(ClusterModel(), &catalog, nullptr);
+  EXPECT_TRUE(executor.Run(program.statements, iterations).ok());
+  auto value = executor.Get(var);
+  EXPECT_TRUE(value.ok());
+  return value->AsMatrix();
+}
+
+TEST(Optimizer, EmitsHoistedLseBeforeLoop) {
+  const DataCatalog catalog = OptCatalog();
+  OptimizerConfig config;
+  config.strategy = EliminationStrategy::kAutomatic;
+  OptimizeReport report;
+  auto optimized = OptimizeScript(GdScript("ds", 5), catalog, config, &report);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  EXPECT_GT(report.applied_lse, 0);
+  // Hoisted temp assignments appear before the loop statement.
+  bool saw_temp = false;
+  for (const auto& stmt : optimized->statements) {
+    if (stmt.kind == CompiledStmt::Kind::kLoop) break;
+    saw_temp = saw_temp || stmt.is_temp;
+  }
+  EXPECT_TRUE(saw_temp);
+}
+
+TEST(Optimizer, OptimizedGdMatchesUnoptimized) {
+  const DataCatalog catalog = OptCatalog();
+  auto reference = CompileScript(GdScript("ds", 4), catalog);
+  ASSERT_TRUE(reference.ok());
+  const Matrix expected = RunProgram(*reference, catalog, "x", 4);
+  for (EliminationStrategy strategy :
+       {EliminationStrategy::kNone, EliminationStrategy::kAutomatic,
+        EliminationStrategy::kConservative, EliminationStrategy::kAggressive,
+        EliminationStrategy::kAdaptive}) {
+    OptimizerConfig config;
+    config.strategy = strategy;
+    auto optimized = OptimizeScript(GdScript("ds", 4), catalog, config);
+    ASSERT_TRUE(optimized.ok()) << EliminationStrategyName(strategy);
+    const Matrix got = RunProgram(*optimized, catalog, "x", 4);
+    EXPECT_TRUE(got.ApproxEquals(expected, 1e-8))
+        << EliminationStrategyName(strategy);
+  }
+}
+
+TEST(Optimizer, OptimizedDfpMatchesUnoptimized) {
+  const DataCatalog catalog = OptCatalog();
+  auto reference = CompileScript(DfpScript("ds", 3), catalog);
+  ASSERT_TRUE(reference.ok());
+  const Matrix expected_x = RunProgram(*reference, catalog, "x", 3);
+  const Matrix expected_h = RunProgram(*reference, catalog, "H", 3);
+  for (EliminationStrategy strategy :
+       {EliminationStrategy::kAutomatic, EliminationStrategy::kAdaptive}) {
+    OptimizerConfig config;
+    config.strategy = strategy;
+    auto optimized = OptimizeScript(DfpScript("ds", 3), catalog, config);
+    ASSERT_TRUE(optimized.ok());
+    EXPECT_TRUE(RunProgram(*optimized, catalog, "x", 3)
+                    .ApproxEquals(expected_x, 1e-7))
+        << EliminationStrategyName(strategy);
+    EXPECT_TRUE(RunProgram(*optimized, catalog, "H", 3)
+                    .ApproxEquals(expected_h, 1e-7))
+        << EliminationStrategyName(strategy);
+  }
+}
+
+TEST(Optimizer, OptimizedBfgsAndGnmfMatch) {
+  const DataCatalog catalog = OptCatalog();
+  for (const std::string& script :
+       {BfgsScript("ds", 3), GnmfScript("ds", 4, 3)}) {
+    auto reference = CompileScript(script, catalog);
+    ASSERT_TRUE(reference.ok());
+    const std::string var = script.find("V =") != std::string::npos ? "W" : "x";
+    const Matrix expected = RunProgram(*reference, catalog, var, 3);
+    OptimizerConfig config;
+    config.strategy = EliminationStrategy::kAdaptive;
+    auto optimized = OptimizeScript(script, catalog, config);
+    ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+    EXPECT_TRUE(
+        RunProgram(*optimized, catalog, var, 3).ApproxEquals(expected, 1e-7));
+  }
+}
+
+TEST(Optimizer, LoopFreeProgramGetsCse) {
+  const DataCatalog catalog = OptCatalog();
+  OptimizerConfig config;
+  config.strategy = EliminationStrategy::kAdaptive;
+  OptimizeReport report;
+  auto optimized =
+      OptimizeScript(PartialDfpScript("ds"), catalog, config, &report);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  EXPECT_GT(report.options_found, 0);
+  // Result value is preserved.
+  auto reference = CompileScript(PartialDfpScript("ds"), catalog);
+  ASSERT_TRUE(reference.ok());
+  const Matrix expected = RunProgram(*reference, catalog, "val", 1);
+  EXPECT_TRUE(
+      RunProgram(*optimized, catalog, "val", 1).ApproxEquals(expected, 1e-8));
+}
+
+TEST(Optimizer, ForcedKeysApplyExactly) {
+  const DataCatalog catalog = OptCatalog();
+  OptimizerConfig config;
+  config.forced_option_keys = {JoinKey({"A'", "A"})};
+  OptimizeReport report;
+  auto optimized =
+      OptimizeScript(GdScript("ds", 5), catalog, config, &report);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(report.applied_cse + report.applied_lse, 1);
+  ASSERT_EQ(report.applied_options.size(), 1u);
+  EXPECT_NE(report.applied_options[0].find("A"), std::string::npos);
+}
+
+TEST(Optimizer, ReportCountsConsistent) {
+  const DataCatalog catalog = OptCatalog();
+  OptimizerConfig config;
+  config.strategy = EliminationStrategy::kAdaptive;
+  OptimizeReport report;
+  auto optimized =
+      OptimizeScript(DfpScript("ds", 5), catalog, config, &report);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(static_cast<int>(report.applied_options.size()),
+            report.applied_cse + report.applied_lse);
+  EXPECT_GE(report.options_found,
+            report.applied_cse + report.applied_lse);
+  EXPECT_GT(report.total_compile_seconds, 0.0);
+  EXPECT_GT(report.search.windows_visited, 0);
+}
+
+TEST(Optimizer, TreeWiseSearchPathWorks) {
+  const DataCatalog catalog = OptCatalog();
+  OptimizerConfig config;
+  config.search = SearchMethod::kTreeWise;
+  config.treewise_budget = 100000000;
+  auto reference = CompileScript(GdScript("ds", 3), catalog);
+  ASSERT_TRUE(reference.ok());
+  const Matrix expected = RunProgram(*reference, catalog, "x", 3);
+  auto optimized = OptimizeScript(GdScript("ds", 3), catalog, config);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_TRUE(
+      RunProgram(*optimized, catalog, "x", 3).ApproxEquals(expected, 1e-8));
+}
+
+TEST(Optimizer, EnumCombinerPathWorks) {
+  const DataCatalog catalog = OptCatalog();
+  OptimizerConfig config;
+  config.combiner = CombinerKind::kEnumBreadthFirst;
+  config.enum_budget = 500;
+  auto reference = CompileScript(DfpScript("ds", 3), catalog);
+  ASSERT_TRUE(reference.ok());
+  const Matrix expected = RunProgram(*reference, catalog, "x", 3);
+  auto optimized = OptimizeScript(DfpScript("ds", 3), catalog, config);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_TRUE(
+      RunProgram(*optimized, catalog, "x", 3).ApproxEquals(expected, 1e-7));
+}
+
+TEST(Optimizer, TempsScheduledBeforeUse) {
+  const DataCatalog catalog = OptCatalog();
+  OptimizerConfig config;
+  config.strategy = EliminationStrategy::kAutomatic;
+  auto optimized = OptimizeScript(DfpScript("ds", 3), catalog, config);
+  ASSERT_TRUE(optimized.ok());
+  // Executing validates the schedule: any temp used before assignment
+  // would fail with NotFound.
+  Executor executor(ClusterModel(), &catalog, nullptr);
+  EXPECT_TRUE(executor.Run(optimized->statements, 3).ok());
+}
+
+}  // namespace
+}  // namespace remac

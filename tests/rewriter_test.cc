@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/rng.h"
+#include "lang/parser.h"
+#include "plan/plan_builder.h"
+#include "plan/rewriter.h"
+#include "runtime/executor.h"
+
+namespace remac {
+namespace {
+
+/// Builds a catalog with square-ish matrices so arbitrary expressions
+/// over {A, B, C, v} type-check.
+DataCatalog RewriterCatalog() {
+  DataCatalog catalog;
+  Rng rng(99);
+  auto add = [&](const std::string& name, int64_t rows, int64_t cols) {
+    DenseMatrix m(rows, cols);
+    for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng.NextGaussian();
+    catalog.Register(name, Matrix::WrapDense(std::move(m)));
+  };
+  add("A", 6, 6);
+  add("B", 6, 6);
+  add("C", 6, 6);
+  add("v", 6, 1);
+  return catalog;
+}
+
+PlanNodePtr BuildExprPlan(const std::string& source,
+                          const DataCatalog& catalog) {
+  std::string script;
+  script += "A = read(\"A\");\nB = read(\"B\");\nC = read(\"C\");\n";
+  script += "v = read(\"v\");\n";
+  script += "out = " + source + ";\n";
+  auto program = CompileScript(script, catalog);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return program->statements.back().plan;
+}
+
+Matrix EvalPlan(const PlanNodePtr& plan, const DataCatalog& catalog) {
+  Executor executor(ClusterModel::SingleNode(), &catalog, nullptr);
+  // Bind the named inputs the expressions reference.
+  for (const char* name : {"A", "B", "C", "v"}) {
+    auto value = catalog.Value(name);
+    EXPECT_TRUE(value.ok());
+    executor.Set(name, RtValue::FromMatrix(std::move(value).value(), false));
+  }
+  auto value = executor.Eval(*plan);
+  EXPECT_TRUE(value.ok()) << value.status().ToString();
+  if (!value.ok()) return Matrix::Zeros(1, 1);
+  return value->AsMatrix();
+}
+
+bool HasTransposeAboveNonLeaf(const PlanNode& node) {
+  if (node.op == PlanOp::kTranspose) {
+    const PlanNode& child = *node.children[0];
+    if (!(child.op == PlanOp::kInput || child.op == PlanOp::kReadData ||
+          IsGeneratorOp(child.op))) {
+      return true;
+    }
+  }
+  for (const auto& child : node.children) {
+    if (HasTransposeAboveNonLeaf(*child)) return true;
+  }
+  return false;
+}
+
+class PushDownTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PushDownTest, PreservesValueAndReachesLeaves) {
+  const DataCatalog catalog = RewriterCatalog();
+  const PlanNodePtr original = BuildExprPlan(GetParam(), catalog);
+  const PlanNodePtr rewritten = PushDownTransposes(original);
+  EXPECT_FALSE(HasTransposeAboveNonLeaf(*rewritten))
+      << rewritten->ToString();
+  EXPECT_TRUE(EvalPlan(original, catalog)
+                  .ApproxEquals(EvalPlan(rewritten, catalog), 1e-9))
+      << "push-down changed the value of " << original->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Expressions, PushDownTest,
+    ::testing::Values("t(A %*% B)",                   // t(XY) = t(Y)t(X)
+                      "t(t(A))",                      // involution
+                      "t(A + B)",                     // distributes over +
+                      "t(A - B %*% C)",               //
+                      "t(t(v) %*% A)",                // vector forms
+                      "t(A %*% B %*% C)",             // chains
+                      "t((A + B) %*% C)",             //
+                      "t(2 * A)",                     // scalar coefficient
+                      "t(A) %*% t(B)",                // already pushed
+                      "t(A %*% t(B %*% C))"));        // nested
+
+class ExpandTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExpandTest, PreservesValue) {
+  const DataCatalog catalog = RewriterCatalog();
+  const PlanNodePtr original = BuildExprPlan(GetParam(), catalog);
+  const PlanNodePtr expanded = ExpandDistributive(original);
+  EXPECT_TRUE(EvalPlan(original, catalog)
+                  .ApproxEquals(EvalPlan(expanded, catalog), 1e-9))
+      << "expansion changed the value of " << original->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Expressions, ExpandTest,
+    ::testing::Values("(A + B) %*% C",
+                      "A %*% (B + C)",
+                      "(A + B) %*% (B + C)",
+                      "(2 * A) %*% B",
+                      "A %*% (3 * B)",
+                      "2 * (A + B)",
+                      "(A - B) %*% C %*% v",
+                      "(A + B) %*% C + A %*% v %*% t(v)"));
+
+TEST(Expand, DistributesProductOverSum) {
+  const DataCatalog catalog = RewriterCatalog();
+  const PlanNodePtr plan = BuildExprPlan("(A + B) %*% C", catalog);
+  const PlanNodePtr expanded = ExpandDistributive(plan);
+  // Top must now be the sum.
+  EXPECT_EQ(expanded->op, PlanOp::kAdd);
+}
+
+TEST(Expand, PullsScalarOutOfChain) {
+  const DataCatalog catalog = RewriterCatalog();
+  const PlanNodePtr plan = BuildExprPlan("(2 * A) %*% B", catalog);
+  const PlanNodePtr expanded = ExpandDistributive(plan);
+  EXPECT_EQ(expanded->op, PlanOp::kMul);
+  EXPECT_EQ(expanded->children[0]->op, PlanOp::kConst);
+  EXPECT_EQ(expanded->children[1]->op, PlanOp::kMatMul);
+}
+
+TEST(Expand, RespectsTermBudget) {
+  const DataCatalog catalog = RewriterCatalog();
+  // (A+B)^6-ish expansion would blow past a tiny budget; the tree must
+  // come back valid (and equal in value) even when expansion stops.
+  const PlanNodePtr plan = BuildExprPlan(
+      "(A + B) %*% (A + B) %*% (A + B) %*% (A + B)", catalog);
+  const PlanNodePtr expanded = ExpandDistributive(plan, /*max_terms=*/4);
+  EXPECT_TRUE(EvalPlan(plan, catalog)
+                  .ApproxEquals(EvalPlan(expanded, catalog), 1e-8));
+}
+
+TEST(Fold, ConstantArithmetic) {
+  const DataCatalog catalog = RewriterCatalog();
+  const PlanNodePtr plan = BuildExprPlan("(2 * 3) * A", catalog);
+  const PlanNodePtr folded = FoldConstants(plan);
+  EXPECT_EQ(folded->op, PlanOp::kMul);
+  EXPECT_EQ(folded->children[0]->op, PlanOp::kConst);
+  EXPECT_DOUBLE_EQ(folded->children[0]->value, 6.0);
+}
+
+TEST(Fold, DropsUnitCoefficient) {
+  const DataCatalog catalog = RewriterCatalog();
+  const PlanNodePtr plan = BuildExprPlan("-(-A)", catalog);
+  const PlanNodePtr folded = FoldConstants(plan);
+  // (-1) * ((-1) * A) folds to A.
+  EXPECT_EQ(folded->op, PlanOp::kInput);
+  EXPECT_EQ(folded->name, "A");
+}
+
+TEST(Normalize, FullPipelinePreservesValue) {
+  const DataCatalog catalog = RewriterCatalog();
+  const PlanNodePtr plan = BuildExprPlan(
+      "t((A + B) %*% C) %*% v - 2 * (t(C) %*% v)", catalog);
+  const PlanNodePtr normalized = NormalizeForSearch(plan);
+  EXPECT_TRUE(EvalPlan(plan, catalog)
+                  .ApproxEquals(EvalPlan(normalized, catalog), 1e-9));
+  EXPECT_FALSE(HasTransposeAboveNonLeaf(*normalized));
+}
+
+}  // namespace
+}  // namespace remac

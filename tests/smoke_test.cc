@@ -1,0 +1,65 @@
+// End-to-end smoke test: DFP on a tiny dataset, every optimizer path,
+// numerics must match the unoptimized run.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/scripts.h"
+#include "data/generators.h"
+#include "runtime/program_runner.h"
+
+namespace remac {
+namespace {
+
+DataCatalog SmallCatalog() {
+  DataCatalog catalog;
+  DatasetSpec spec;
+  spec.name = "tiny";
+  spec.rows = 200;
+  spec.cols = 12;
+  spec.sparsity = 0.5;
+  spec.seed = 7;
+  EXPECT_TRUE(RegisterDataset(&catalog, spec, true).ok());
+  return catalog;
+}
+
+TEST(Smoke, DfpAllOptimizersAgree) {
+  const DataCatalog catalog = SmallCatalog();
+  const std::string script = DfpScript("tiny", 3);
+
+  RunConfig base_config;
+  base_config.optimizer = OptimizerKind::kAsWritten;
+  base_config.max_iterations = 3;
+  auto base = RunScript(script, catalog, base_config);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  const Matrix expected = base->env.at("x").AsMatrix();
+
+  for (OptimizerKind kind :
+       {OptimizerKind::kSystemDs, OptimizerKind::kSystemDsNoCse,
+        OptimizerKind::kSpores, OptimizerKind::kRemacNone,
+        OptimizerKind::kRemacAutomatic, OptimizerKind::kRemacConservative,
+        OptimizerKind::kRemacAggressive, OptimizerKind::kRemacAdaptive}) {
+    RunConfig config;
+    config.optimizer = kind;
+    config.max_iterations = 3;
+    auto run = RunScript(script, catalog, config);
+    ASSERT_TRUE(run.ok()) << OptimizerKindName(kind) << ": "
+                          << run.status().ToString();
+    const Matrix got = run->env.at("x").AsMatrix();
+    EXPECT_TRUE(got.ApproxEquals(expected, 1e-6))
+        << "optimizer " << OptimizerKindName(kind)
+        << " changed the result";
+  }
+}
+
+TEST(Smoke, AdaptiveFindsOptions) {
+  const DataCatalog catalog = SmallCatalog();
+  RunConfig config;
+  config.optimizer = OptimizerKind::kRemacAdaptive;
+  config.max_iterations = 3;
+  auto run = RunScript(DfpScript("tiny", 3), catalog, config);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(run->optimize.options_found, 10);
+}
+
+}  // namespace
+}  // namespace remac

@@ -1,0 +1,287 @@
+// remac — command-line front end.
+//
+//   remac run SCRIPT.dml [options]     compile + execute a script
+//   remac compile SCRIPT.dml [options] compile only, print the plan
+//   remac datasets                     list the built-in paper datasets
+//   remac gen NAME OUT.mtx             generate a paper dataset to a file
+//
+// Options for run/compile:
+//   --data NAME=PATH.mtx     load a MatrixMarket file as dataset NAME
+//   --dataset NAME[:ALIAS]   generate the built-in paper dataset NAME
+//                            (cri1..red3, zipf-<e>); registers it (and the
+//                            _b / _pd / _pH companions) as ALIAS (default
+//                            NAME), so scripts can run on any dataset
+//   --optimizer KIND         as-written | systemds | systemds* | spores |
+//                            none | automatic | conservative | aggressive |
+//                            adaptive (default)
+//   --estimator KIND         md | mnc (default) | exact
+//   --engine KIND            systemds (default) | pbdr | scidb
+//   --iterations N           loop cap / LSE horizon (default 20)
+//   --print-plan             print the optimized program
+//   --dot PATH.dot           write the optimized program as Graphviz DOT
+//   --print VAR              print a result variable (matrix summaries)
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "data/generators.h"
+#include "io/matrix_market.h"
+#include "matrix/kernels.h"
+#include "plan/plan_dot.h"
+#include "runtime/program_runner.h"
+
+namespace remac {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: remac run|compile SCRIPT.dml [--data NAME=PATH] "
+               "[--dataset NAME] [--optimizer KIND] [--estimator KIND] "
+               "[--engine KIND] [--iterations N] [--print-plan] "
+               "[--print VAR]\n"
+               "       remac datasets\n"
+               "       remac gen NAME OUT.mtx\n");
+  return 2;
+}
+
+Result<OptimizerKind> ParseOptimizer(const std::string& name) {
+  if (name == "as-written") return OptimizerKind::kAsWritten;
+  if (name == "systemds") return OptimizerKind::kSystemDs;
+  if (name == "systemds*") return OptimizerKind::kSystemDsNoCse;
+  if (name == "spores") return OptimizerKind::kSpores;
+  if (name == "none") return OptimizerKind::kRemacNone;
+  if (name == "automatic") return OptimizerKind::kRemacAutomatic;
+  if (name == "conservative") return OptimizerKind::kRemacConservative;
+  if (name == "aggressive") return OptimizerKind::kRemacAggressive;
+  if (name == "adaptive") return OptimizerKind::kRemacAdaptive;
+  return Status::InvalidArgument("unknown optimizer '" + name + "'");
+}
+
+Result<EstimatorKind> ParseEstimator(const std::string& name) {
+  if (name == "md") return EstimatorKind::kMetadata;
+  if (name == "mnc") return EstimatorKind::kMnc;
+  if (name == "sample") return EstimatorKind::kSampling;
+  if (name == "exact") return EstimatorKind::kExact;
+  return Status::InvalidArgument("unknown estimator '" + name + "'");
+}
+
+Result<EngineKind> ParseEngine(const std::string& name) {
+  if (name == "systemds") return EngineKind::kSystemDsLike;
+  if (name == "pbdr") return EngineKind::kPbdR;
+  if (name == "scidb") return EngineKind::kSciDb;
+  return Status::InvalidArgument("unknown engine '" + name + "'");
+}
+
+/// "NAME" or "NAME:ALIAS" — generates built-in dataset NAME and registers
+/// it (and its _b/_pd/_pH companions) under ALIAS, so any script can run
+/// against any dataset.
+Status RegisterNamedDataset(DataCatalog* catalog, const std::string& arg) {
+  std::string name = arg;
+  std::string alias = arg;
+  const size_t colon = arg.find(':');
+  if (colon != std::string::npos) {
+    name = arg.substr(0, colon);
+    alias = arg.substr(colon + 1);
+  }
+  DatasetSpec spec;
+  if (StartsWith(name, "zipf-")) {
+    spec = ZipfSpec(std::stod(name.substr(5)));
+  } else {
+    REMAC_ASSIGN_OR_RETURN(spec, PaperDatasetSpec(name));
+  }
+  spec.name = alias;
+  std::fprintf(stderr, "[remac] generating %s as %s (%lld x %lld, sp=%g)\n",
+               name.c_str(), alias.c_str(), static_cast<long long>(spec.rows),
+               static_cast<long long>(spec.cols), spec.sparsity);
+  return RegisterDataset(catalog, spec, /*with_partial_dfp_inputs=*/true);
+}
+
+void PrintValue(const std::string& name, const RtValue& value) {
+  if (value.is_scalar) {
+    std::printf("%s = %.10g\n", name.c_str(), value.scalar);
+    return;
+  }
+  const Matrix& m = value.matrix;
+  std::printf("%s: %lld x %lld, nnz=%lld, sparsity=%.3g, |.|_F=%.6g\n",
+              name.c_str(), static_cast<long long>(m.rows()),
+              static_cast<long long>(m.cols()),
+              static_cast<long long>(m.nnz()), m.Sparsity(),
+              FrobeniusNorm(m));
+  const int64_t show_rows = std::min<int64_t>(m.rows(), 4);
+  const int64_t show_cols = std::min<int64_t>(m.cols(), 8);
+  for (int64_t r = 0; r < show_rows; ++r) {
+    std::printf("  ");
+    for (int64_t c = 0; c < show_cols; ++c) {
+      std::printf("%10.4g", m.At(r, c));
+    }
+    std::printf("%s\n", show_cols < m.cols() ? " ..." : "");
+  }
+  if (show_rows < m.rows()) std::printf("  ...\n");
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+
+  if (command == "datasets") {
+    std::printf("%-8s %10s %9s %12s  %s\n", "name", "rows", "cols",
+                "sparsity", "zipf");
+    for (const DatasetSpec& spec : PaperDatasetSpecs()) {
+      std::printf("%-8s %10lld %9lld %12.2e  %.1f/%.1f\n", spec.name.c_str(),
+                  static_cast<long long>(spec.rows),
+                  static_cast<long long>(spec.cols), spec.sparsity,
+                  spec.zipf_rows, spec.zipf_cols);
+    }
+    std::printf("plus zipf-<exponent> (cri2-shaped, e.g. zipf-1.4)\n");
+    return 0;
+  }
+
+  if (command == "gen") {
+    if (argc != 4) return Usage();
+    DataCatalog catalog;
+    if (Status st = RegisterNamedDataset(&catalog, argv[2]); !st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto value = catalog.Value(argv[2]);
+    if (Status st = WriteMatrixMarket(argv[3], value.value()); !st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", argv[3]);
+    return 0;
+  }
+
+  if (command != "run" && command != "compile") return Usage();
+  if (argc < 3) return Usage();
+  const std::string script_path = argv[2];
+
+  DataCatalog catalog;
+  RunConfig config;
+  bool print_plan = false;
+  std::string dot_path;
+  std::vector<std::string> print_vars;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    Status st;
+    if (arg == "--data") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      const std::string spec = value;
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos) return Usage();
+      auto m = ReadMatrixMarket(spec.substr(eq + 1));
+      if (!m.ok()) {
+        std::fprintf(stderr, "error: %s\n", m.status().ToString().c_str());
+        return 1;
+      }
+      catalog.Register(spec.substr(0, eq), std::move(m).value());
+    } else if (arg == "--dataset") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      st = RegisterNamedDataset(&catalog, value);
+    } else if (arg == "--optimizer") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      auto kind = ParseOptimizer(value);
+      if (kind.ok()) config.optimizer = kind.value();
+      st = kind.status();
+    } else if (arg == "--estimator") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      auto kind = ParseEstimator(value);
+      if (kind.ok()) config.estimator = kind.value();
+      st = kind.status();
+    } else if (arg == "--engine") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      auto kind = ParseEngine(value);
+      if (kind.ok()) config.engine = kind.value();
+      st = kind.status();
+    } else if (arg == "--iterations") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      config.max_iterations = std::atoi(value);
+    } else if (arg == "--print-plan") {
+      print_plan = true;
+    } else if (arg == "--dot") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      dot_path = value;
+    } else if (arg == "--print") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      print_vars.push_back(value);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return Usage();
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::ifstream script_file(script_path);
+  if (!script_file) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", script_path.c_str());
+    return 1;
+  }
+  std::ostringstream source;
+  source << script_file.rdbuf();
+
+  auto run = command == "run"
+                 ? RunScript(source.str(), catalog, config)
+                 : CompileOnly(source.str(), catalog, config);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("optimizer: %s (estimator %s, engine %s)\n",
+              OptimizerKindName(config.optimizer),
+              EstimatorKindName(config.estimator),
+              EngineKindName(config.engine));
+  std::printf("compile:   %s wall", HumanSeconds(run->compile_wall_seconds).c_str());
+  if (run->optimize.options_found > 0 || run->optimize.applied_cse > 0) {
+    std::printf(" — %d options found, %d CSE + %d LSE + %d cross-block applied",
+                run->optimize.options_found, run->optimize.applied_cse,
+                run->optimize.applied_lse,
+                run->optimize.applied_cross_block);
+  }
+  std::printf("\n");
+  if (command == "run") {
+    std::printf("simulated: %s\n", run->breakdown.ToString().c_str());
+  }
+  if (print_plan) {
+    std::printf("--- optimized program ---\n%s", run->optimized_source.c_str());
+  }
+  if (!dot_path.empty() && run->optimized_program != nullptr) {
+    std::ofstream dot_file(dot_path);
+    dot_file << ProgramToDot(*run->optimized_program);
+    std::printf("wrote %s (render with: dot -Tsvg %s -o plan.svg)\n",
+                dot_path.c_str(), dot_path.c_str());
+  }
+  for (const std::string& var : print_vars) {
+    auto it = run->env.find(var);
+    if (it == run->env.end()) {
+      std::fprintf(stderr, "no variable '%s'\n", var.c_str());
+      continue;
+    }
+    PrintValue(var, it->second);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace remac
+
+int main(int argc, char** argv) { return remac::Main(argc, argv); }
