@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "algorithms/scripts.h"
 #include "common/rng.h"
 #include "common/string_util.h"
@@ -15,6 +19,7 @@
 #include "matrix/kernels.h"
 #include "plan/plan_builder.h"
 #include "runtime/program_runner.h"
+#include "sched/thread_pool.h"
 #include "sparsity/estimator.h"
 
 namespace remac {
@@ -206,4 +211,34 @@ BENCHMARK(BM_BlockSizeSweep)->Arg(256)->Arg(1024)->Arg(4096);
 }  // namespace
 }  // namespace remac
 
-BENCHMARK_MAIN();
+// Custom main: peel off the harness flags (--threads=N, --scheduler=...)
+// before google-benchmark sees the remaining arguments.
+int main(int argc, char** argv) {
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (remac::StartsWith(arg, "--threads=")) {
+      char* end = nullptr;
+      const long threads = std::strtol(arg.c_str() + 10, &end, 10);
+      if (end == arg.c_str() + 10 || *end != '\0' || threads <= 0) {
+        std::fprintf(stderr, "--threads expects a positive integer, got '%s'\n",
+                     arg.c_str() + 10);
+        return 2;
+      }
+      remac::SetKernelThreads(static_cast<int>(threads));
+      remac::ThreadPool::SetGlobalThreads(static_cast<int>(threads));
+    } else if (!remac::StartsWith(arg, "--scheduler=") && arg != "--json" &&
+               arg != "--quick") {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

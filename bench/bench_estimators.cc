@@ -39,7 +39,8 @@ Row Estimate(const SparsityEstimator& estimator, const MatrixStats& stats,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchArgs(argc, argv);
   Banner("Estimator ablation",
          "sp(A^T A) estimation error and cost vs skew (Section 4.2)");
   std::printf("%-10s %10s |", "dataset", "true sp");

@@ -68,7 +68,7 @@ void Sweep(const char* algo, const std::vector<std::string>& datasets,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const bool quick = ParseBenchArgs(argc, argv).quick;
   Banner("Figure 10",
          "adaptive elimination: DP vs Enum, MD vs MNC estimators");
   const std::vector<std::string> datasets =

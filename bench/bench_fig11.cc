@@ -52,7 +52,8 @@ void Sweep(const char* algo, int iterations,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchArgs(argc, argv);
   Banner("Figure 11", "alternative solutions on the dense datasets");
   const int iterations = 100;
   Sweep("DFP", iterations, &DfpScript);

@@ -39,7 +39,8 @@ void Row(const char* system, OptimizerKind kind, const std::string& ds,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchArgs(argc, argv);
   Banner("Figure 12", "time breakdown for DFP on cri2 and skewed data");
   const int iterations = 100;
   std::vector<std::string> datasets = {"cri2"};

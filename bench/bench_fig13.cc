@@ -14,7 +14,8 @@
 using namespace remac;
 using namespace remac::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchArgs(argc, argv);
   Banner("Figure 13", "per-worker data proportion under skew");
   ClusterModel model;
   // Match the data scale: small blocks so the grid is non-trivial.

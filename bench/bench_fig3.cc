@@ -58,7 +58,8 @@ void RunSetting(const char* title, const ClusterModel& cluster,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchArgs(argc, argv);
   Banner("Figure 3", "SystemDS-style DFP under different CSE/LSE choices");
   // A denser cri2-shaped dataset: the single-node panel is disk-bound
   // (the paper runs 30-40GB against 32GB RAM), so the dataset must be

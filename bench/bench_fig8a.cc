@@ -64,7 +64,8 @@ void Row(const char* algo, const std::string& script) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchArgs(argc, argv);
   Banner("Figure 8(a)", "compilation time to find CSE and LSE");
   Status st = EnsureDataset("cri2", /*with_partial_dfp_inputs=*/true);
   if (!st.ok()) {

@@ -60,7 +60,7 @@ std::string PartialDfpWrapper(const std::string& ds, int iterations) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const bool quick = ParseBenchArgs(argc, argv).quick;
   Banner("Figure 8(b)", "execution time under automatic elimination");
   const std::vector<std::string> datasets =
       quick ? std::vector<std::string>{"cri1", "cri2"}

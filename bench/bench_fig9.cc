@@ -49,7 +49,7 @@ void Sweep(const char* algo, const std::vector<std::string>& datasets,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const bool quick = ParseBenchArgs(argc, argv).quick;
   Banner("Figure 9", "overall performance of elimination strategies");
   const std::vector<std::string> datasets =
       quick ? std::vector<std::string>{"cri1", "cri3"}

@@ -9,7 +9,8 @@
 using namespace remac;
 using namespace remac::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchArgs(argc, argv);
   Banner("Table 2", "dataset statistics (scaled synthetic stand-ins)");
   std::printf("%-8s %10s %9s %12s %12s %10s\n", "Dataset", "Rows#",
               "Columns#", "Sparsity", "NNZ", "Footprint");

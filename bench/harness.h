@@ -6,14 +6,74 @@
 // EXPERIMENTS.md for the paper-vs-measured index.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "common/string_util.h"
 #include "data/generators.h"
+#include "matrix/kernels.h"
 #include "runtime/program_runner.h"
+#include "sched/thread_pool.h"
 
 namespace remac {
 namespace bench {
+
+/// Command-line knobs shared by every bench binary.
+struct BenchOptions {
+  bool quick = false;  // smaller datasets / fewer configurations
+  /// Threads for the shared pool AND the kernel row-chunking
+  /// (0 = hardware default).
+  int threads = 0;
+  SchedulerKind scheduler = SchedulerKind::kSerial;
+  /// Emit one machine-readable JSON line per measurement.
+  bool json = false;
+};
+
+/// Process-wide options (set once by ParseBenchArgs in main()).
+inline BenchOptions& GlobalBenchOptions() {
+  static BenchOptions options;
+  return options;
+}
+
+/// Parses --quick, --threads=N, --scheduler=serial|taskgraph and --json;
+/// applies the thread count to the kernels and the shared pool. Returns
+/// the parsed options (also stored in GlobalBenchOptions()).
+inline BenchOptions ParseBenchArgs(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      options.quick = true;
+    } else if (StartsWith(arg, "--threads=")) {
+      char* end = nullptr;
+      const long value = std::strtol(arg.c_str() + 10, &end, 10);
+      if (end == arg.c_str() + 10 || *end != '\0' || value <= 0) {
+        std::fprintf(stderr, "--threads expects a positive integer, got '%s'\n",
+                     arg.c_str() + 10);
+        std::exit(2);
+      }
+      options.threads = static_cast<int>(value);
+    } else if (arg == "--scheduler=taskgraph") {
+      options.scheduler = SchedulerKind::kTaskGraph;
+    } else if (arg == "--scheduler=serial") {
+      options.scheduler = SchedulerKind::kSerial;
+    } else if (arg == "--json") {
+      options.json = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s' (expected --quick, --threads=N, "
+                   "--scheduler=serial|taskgraph, --json)\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  if (options.threads > 0) {
+    SetKernelThreads(options.threads);
+    ThreadPool::SetGlobalThreads(options.threads);
+  }
+  GlobalBenchOptions() = options;
+  return options;
+}
 
 /// Process-wide catalog with lazily generated datasets.
 inline DataCatalog& SharedCatalog() {
@@ -51,6 +111,8 @@ struct Measurement {
   double elapsed_seconds = 0.0;
   TimeBreakdown breakdown;  // extrapolated
   OptimizeReport optimize;
+  /// DAG accounting of the last executed run (kTaskGraph only).
+  ScheduleReport schedule;
 };
 
 /// Runs the script executing only 1 and 2 real loop iterations, then
@@ -60,7 +122,11 @@ struct Measurement {
 /// harness bounded while reporting the full-horizon simulated time; see
 /// DESIGN.md ("Simulated time vs wall time").
 inline Result<Measurement> MeasureScript(const std::string& script,
-                                         RunConfig config, int iterations) {
+                                         RunConfig config, int iterations,
+                                         const std::string& label = "") {
+  const BenchOptions& options = GlobalBenchOptions();
+  config.scheduler = options.scheduler;
+  config.pool_threads = options.threads;
   config.max_iterations = iterations;
   Measurement m;
   config.executed_iterations = 1;
@@ -71,6 +137,7 @@ inline Result<Measurement> MeasureScript(const std::string& script,
                          RunScript(script, SharedCatalog(), config));
   m.compile_wall_seconds = one.compile_wall_seconds;
   m.optimize = one.optimize;
+  m.schedule = two.schedule;
   const double n = static_cast<double>(iterations);
   auto extrapolate = [n](double t1, double t2) {
     const double per_iteration = std::max(0.0, t2 - t1);
@@ -89,6 +156,24 @@ inline Result<Measurement> MeasureScript(const std::string& script,
                         m.breakdown.transmission_seconds +
                         m.breakdown.input_partition_seconds;
   m.elapsed_seconds = m.execution_seconds + m.compile_wall_seconds;
+  if (options.json) {
+    // One machine-readable line per measurement; threads=0 means the
+    // hardware default was used.
+    std::printf(
+        "{\"label\": \"%s\", \"scheduler\": \"%s\", \"threads\": %d, "
+        "\"pool_threads\": %d, \"iterations\": %d, "
+        "\"execution_seconds\": %.9g, \"compile_wall_seconds\": %.9g, "
+        "\"elapsed_seconds\": %.9g, \"serial_seconds\": %.9g, "
+        "\"makespan_seconds\": %.9g, \"critical_path_seconds\": %.9g, "
+        "\"tasks\": %lld, \"edges\": %lld}\n",
+        label.c_str(), SchedulerKindName(config.scheduler), options.threads,
+        m.schedule.pool_threads, iterations, m.execution_seconds,
+        m.compile_wall_seconds, m.elapsed_seconds,
+        m.schedule.serial_seconds, m.schedule.makespan_seconds,
+        m.schedule.critical_path_seconds,
+        static_cast<long long>(m.schedule.tasks),
+        static_cast<long long>(m.schedule.edges));
+  }
   return m;
 }
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Concurrency check: build the ThreadSanitizer configuration and run the
+# scheduler and kernel tests under it. The task-graph executor, the shared
+# thread pool and the thread-safe ledger are the only concurrent parts of
+# the codebase, so this is the suite that must stay TSan-clean.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-tsan)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+FILTER='ThreadPool.*:Ledger.*:TaskGraph.*:Sched*.*:Kernels*.*'
+
+cmake -B "$BUILD_DIR" -S . -DREMAC_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j --target remac_tests
+
+echo "== running scheduler/kernel tests under ThreadSanitizer =="
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  "$BUILD_DIR/tests/remac_tests" --gtest_filter="$FILTER"
+
+echo "== TSan check passed =="

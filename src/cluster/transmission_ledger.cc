@@ -4,6 +4,19 @@
 
 namespace remac {
 
+namespace {
+
+/// Relaxed CAS add; the ledger only needs atomicity of each increment,
+/// totals are read after execution quiesces.
+void AtomicAdd(std::atomic<double>& accumulator, double delta) {
+  double current = accumulator.load(std::memory_order_relaxed);
+  while (!accumulator.compare_exchange_weak(current, current + delta,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
 TimeBreakdown& TimeBreakdown::operator+=(const TimeBreakdown& other) {
   input_partition_seconds += other.input_partition_seconds;
   compilation_seconds += other.compilation_seconds;
@@ -23,45 +36,68 @@ std::string TimeBreakdown::ToString() const {
 }
 
 void TransmissionLedger::AddDistributedFlops(double flops) {
-  distributed_flops_ += flops;
+  AtomicAdd(distributed_flops_, flops);
 }
 
-void TransmissionLedger::AddLocalFlops(double flops) { local_flops_ += flops; }
+void TransmissionLedger::AddLocalFlops(double flops) {
+  AtomicAdd(local_flops_, flops);
+}
 
 void TransmissionLedger::AddTransmission(TransmissionPrimitive pr,
                                          double bytes) {
-  bytes_[static_cast<int>(pr)] += bytes;
+  AtomicAdd(bytes_[static_cast<size_t>(pr)], bytes);
 }
 
 void TransmissionLedger::AddInputPartition(double bytes) {
-  input_partition_bytes_ += bytes;
+  AtomicAdd(input_partition_bytes_, bytes);
 }
 
 void TransmissionLedger::AddCompilationSeconds(double seconds) {
-  compilation_seconds_ += seconds;
+  AtomicAdd(compilation_seconds_, seconds);
+}
+
+void TransmissionLedger::MergeFrom(const TransmissionLedger& other) {
+  AtomicAdd(distributed_flops_,
+            other.distributed_flops_.load(std::memory_order_relaxed));
+  AtomicAdd(local_flops_, other.local_flops_.load(std::memory_order_relaxed));
+  for (size_t i = 0; i < bytes_.size(); ++i) {
+    AtomicAdd(bytes_[i], other.bytes_[i].load(std::memory_order_relaxed));
+  }
+  AtomicAdd(input_partition_bytes_,
+            other.input_partition_bytes_.load(std::memory_order_relaxed));
+  AtomicAdd(compilation_seconds_,
+            other.compilation_seconds_.load(std::memory_order_relaxed));
+}
+
+double TransmissionLedger::TotalBytes() const {
+  double total = 0.0;
+  for (const auto& b : bytes_) total += b.load(std::memory_order_relaxed);
+  return total;
 }
 
 TimeBreakdown TransmissionLedger::Breakdown() const {
   TimeBreakdown b;
-  b.compilation_seconds = compilation_seconds_;
-  b.computation_seconds = distributed_flops_ * model_.WFlop() +
-                          local_flops_ * model_.WLocalFlop();
+  b.compilation_seconds = compilation_seconds_.load(std::memory_order_relaxed);
+  b.computation_seconds =
+      distributed_flops_.load(std::memory_order_relaxed) * model_.WFlop() +
+      local_flops_.load(std::memory_order_relaxed) * model_.WLocalFlop();
   for (int i = 0; i < kNumTransmissionPrimitives; ++i) {
     b.transmission_seconds +=
-        bytes_[i] * model_.WPrimitive(static_cast<TransmissionPrimitive>(i));
+        bytes_[static_cast<size_t>(i)].load(std::memory_order_relaxed) *
+        model_.WPrimitive(static_cast<TransmissionPrimitive>(i));
   }
   b.input_partition_seconds =
-      input_partition_bytes_ *
+      input_partition_bytes_.load(std::memory_order_relaxed) *
       model_.WPrimitive(TransmissionPrimitive::kDfs);
   return b;
 }
 
 void TransmissionLedger::Reset() {
-  distributed_flops_ = 0.0;
-  local_flops_ = 0.0;
-  bytes_.fill(0.0);
-  input_partition_bytes_ = 0.0;
-  compilation_seconds_ = 0.0;
+  distributed_flops_.store(0.0, std::memory_order_relaxed);
+  local_flops_.store(0.0, std::memory_order_relaxed);
+  for (auto& b : bytes_) b.store(0.0, std::memory_order_relaxed);
+  input_partition_bytes_.store(0.0, std::memory_order_relaxed);
+  compilation_seconds_.store(0.0, std::memory_order_relaxed);
 }
 
 }  // namespace remac

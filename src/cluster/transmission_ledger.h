@@ -2,6 +2,7 @@
 #define REMAC_CLUSTER_TRANSMISSION_LEDGER_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -32,9 +33,18 @@ struct TimeBreakdown {
 /// here; the ledger converts them into simulated seconds using the
 /// ClusterModel weights. This is the substitution for the paper's 7-node
 /// Spark testbed (see DESIGN.md Section 2).
+///
+/// Booking is thread-safe: every accumulator is an atomic double updated
+/// with a CAS add, so the task-graph executor's concurrent tasks can
+/// book into one ledger directly (they normally book into private
+/// per-task ledgers folded in via MergeFrom, which keeps per-task costs
+/// attributable for the makespan accounting).
 class TransmissionLedger {
  public:
   explicit TransmissionLedger(ClusterModel model) : model_(model) {}
+
+  TransmissionLedger(const TransmissionLedger&) = delete;
+  TransmissionLedger& operator=(const TransmissionLedger&) = delete;
 
   const ClusterModel& model() const { return model_; }
 
@@ -50,10 +60,19 @@ class TransmissionLedger {
   /// Books real compilation wall time.
   void AddCompilationSeconds(double seconds);
 
-  double TotalFlops() const { return distributed_flops_ + local_flops_; }
-  double BytesFor(TransmissionPrimitive pr) const {
-    return bytes_[static_cast<int>(pr)];
+  /// Adds every accumulator of `other` into this ledger (used to fold
+  /// per-task ledgers into the run's main ledger).
+  void MergeFrom(const TransmissionLedger& other);
+
+  double TotalFlops() const {
+    return distributed_flops_.load(std::memory_order_relaxed) +
+           local_flops_.load(std::memory_order_relaxed);
   }
+  double BytesFor(TransmissionPrimitive pr) const {
+    return bytes_[static_cast<size_t>(pr)].load(std::memory_order_relaxed);
+  }
+  /// Total bytes across all transmission primitives.
+  double TotalBytes() const;
 
   /// The simulated time breakdown accumulated so far.
   TimeBreakdown Breakdown() const;
@@ -65,11 +84,11 @@ class TransmissionLedger {
 
  private:
   ClusterModel model_;
-  double distributed_flops_ = 0.0;
-  double local_flops_ = 0.0;
-  std::array<double, kNumTransmissionPrimitives> bytes_{};
-  double input_partition_bytes_ = 0.0;
-  double compilation_seconds_ = 0.0;
+  std::atomic<double> distributed_flops_{0.0};
+  std::atomic<double> local_flops_{0.0};
+  std::array<std::atomic<double>, kNumTransmissionPrimitives> bytes_{};
+  std::atomic<double> input_partition_bytes_{0.0};
+  std::atomic<double> compilation_seconds_{0.0};
 };
 
 }  // namespace remac

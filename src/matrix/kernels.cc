@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "sched/thread_pool.h"
 
 namespace remac {
 
@@ -24,7 +25,11 @@ Status ShapeError(const char* op, const Matrix& a, const Matrix& b) {
       static_cast<long long>(b.rows()), static_cast<long long>(b.cols())));
 }
 
-/// Runs fn(first_row, last_row) across KernelThreads() workers.
+/// Runs fn(first_row, last_row) across KernelThreads() workers on the
+/// shared scheduler pool. Chunk boundaries depend only on KernelThreads(),
+/// never on the pool size, so results are bitwise-identical no matter how
+/// many threads actually execute (and some kernels derive a worker index
+/// from r0 / chunk).
 void ParallelForRows(int64_t rows, const std::function<void(int64_t, int64_t)>& fn) {
   const int threads = KernelThreads();
   if (threads <= 1 || rows < 256) {
@@ -32,15 +37,15 @@ void ParallelForRows(int64_t rows, const std::function<void(int64_t, int64_t)>& 
     return;
   }
   const int64_t chunk = (rows + threads - 1) / threads;
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(threads));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<size_t>(threads));
   for (int t = 0; t < threads; ++t) {
     const int64_t begin = t * chunk;
     const int64_t end = std::min(rows, begin + chunk);
     if (begin >= end) break;
-    pool.emplace_back([&fn, begin, end] { fn(begin, end); });
+    tasks.push_back([&fn, begin, end] { fn(begin, end); });
   }
-  for (auto& th : pool) th.join();
+  ThreadPool::Global().RunAndWait(std::move(tasks));
 }
 
 DenseMatrix MultiplyDenseDense(const DenseMatrix& a, const DenseMatrix& b) {

@@ -113,7 +113,10 @@ Result<RtValue> Executor::ReadDataset(const std::string& name) {
   if (traits_.force_dense && !value.is_dense()) {
     value = Matrix::WrapDense(value.ToDense());
   }
-  if (!loaded_datasets_[name]) {
+  const bool first_load = shared_datasets_ != nullptr
+                              ? shared_datasets_->MarkLoaded(name)
+                              : !loaded_datasets_[name];
+  if (first_load) {
     loaded_datasets_[name] = true;
     if (count_input_partition_ && ledger_ != nullptr) {
       ledger_->AddInputPartition(static_cast<double>(value.SizeInBytes()) *

@@ -2,6 +2,8 @@
 #define REMAC_RUNTIME_EXECUTOR_H_
 
 #include <map>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -44,6 +46,22 @@ struct EngineTraits {
   double input_partition_factor = 1.0;
 };
 
+/// \brief First-load registry shared by executors running concurrently.
+///
+/// The task-graph path gives every task its own Executor; this set makes
+/// "book the input-partition cost once per dataset" hold program-wide
+/// instead of per-executor.
+struct SharedDatasetSet {
+  std::mutex mu;
+  std::set<std::string> loaded;
+
+  /// Marks `name` loaded; true only on the first call for that name.
+  bool MarkLoaded(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu);
+    return loaded.insert(name).second;
+  }
+};
+
 /// \brief Executes compiled statements against the simulated cluster.
 ///
 /// Operators are computed for real with the local kernels while their
@@ -76,6 +94,18 @@ class Executor {
   /// No-op for datasets already loaded.
   void set_count_input_partition(bool on) { count_input_partition_ = on; }
 
+  /// Routes first-load tracking through a registry shared across
+  /// executors (the task-graph path; see SharedDatasetSet).
+  void set_shared_loaded_datasets(SharedDatasetSet* shared) {
+    shared_datasets_ = shared;
+  }
+
+  /// Position in the deterministic rand() stream. The task-graph
+  /// executor re-bases each task to the offset the serial executor would
+  /// have reached, so rand-using programs stay bitwise reproducible.
+  void set_rand_counter(uint64_t value) { rand_counter_ = value; }
+  uint64_t rand_counter() const { return rand_counter_; }
+
   int64_t ops_executed() const { return ops_executed_; }
 
  private:
@@ -93,6 +123,7 @@ class Executor {
   EngineTraits traits_;
   std::map<std::string, RtValue> env_;
   std::map<std::string, bool> loaded_datasets_;
+  SharedDatasetSet* shared_datasets_ = nullptr;
   bool count_input_partition_ = false;
   int64_t ops_executed_ = 0;
   uint64_t rand_counter_ = 0;

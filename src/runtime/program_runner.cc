@@ -35,6 +35,14 @@ const char* EstimatorKindName(EstimatorKind kind) {
   return "?";
 }
 
+const char* SchedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kSerial: return "serial";
+    case SchedulerKind::kTaskGraph: return "taskgraph";
+  }
+  return "?";
+}
+
 namespace {
 
 std::unique_ptr<SparsityEstimator> MakeEstimator(EstimatorKind kind,
@@ -128,15 +136,33 @@ Result<RunReport> RunInternal(const std::string& source,
   TransmissionLedger ledger(config.cluster);
   ledger.AddCompilationSeconds(report.compile_wall_seconds);
   if (execute) {
-    Executor executor(config.cluster, &catalog, &ledger,
-                      TraitsFor(config.engine));
-    executor.set_count_input_partition(config.count_input_partition);
     const int executed = config.executed_iterations > 0
                              ? std::min(config.executed_iterations,
                                         config.max_iterations)
                              : config.max_iterations;
-    REMAC_RETURN_NOT_OK(executor.Run(optimized.statements, executed));
-    report.env = executor.env();
+    if (config.scheduler == SchedulerKind::kTaskGraph) {
+      if (config.pool_threads > 0) {
+        ThreadPool::SetGlobalThreads(config.pool_threads);
+      }
+      TraceSink trace;
+      ParallelExecutor executor(config.cluster, &catalog, &ledger,
+                                &ThreadPool::Global(),
+                                TraitsFor(config.engine));
+      executor.set_count_input_partition(config.count_input_partition);
+      if (!config.trace_path.empty()) executor.set_trace(&trace);
+      REMAC_RETURN_NOT_OK(executor.Run(optimized.statements, executed));
+      report.env = executor.env();
+      report.schedule = executor.schedule();
+      if (!config.trace_path.empty()) {
+        REMAC_RETURN_NOT_OK(trace.WriteChromeJson(config.trace_path));
+      }
+    } else {
+      Executor executor(config.cluster, &catalog, &ledger,
+                        TraitsFor(config.engine));
+      executor.set_count_input_partition(config.count_input_partition);
+      REMAC_RETURN_NOT_OK(executor.Run(optimized.statements, executed));
+      report.env = executor.env();
+    }
   }
   report.breakdown = ledger.Breakdown();
   return report;

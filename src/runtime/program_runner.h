@@ -13,6 +13,7 @@
 
 #include "plan/plan_builder.h"
 #include "runtime/executor.h"
+#include "sched/parallel_executor.h"
 
 namespace remac {
 
@@ -34,6 +35,14 @@ const char* OptimizerKindName(OptimizerKind kind);
 enum class EstimatorKind { kMetadata, kMnc, kSampling, kExact };
 
 const char* EstimatorKindName(EstimatorKind kind);
+
+/// Which execution backend runs the optimized program.
+enum class SchedulerKind {
+  kSerial,     // one statement at a time (the classic Executor)
+  kTaskGraph,  // dependency DAG on the shared thread pool
+};
+
+const char* SchedulerKindName(SchedulerKind kind);
 
 /// One experiment configuration: cluster, compiler, estimator, engine.
 struct RunConfig {
@@ -59,12 +68,27 @@ struct RunConfig {
   /// Manual elimination: apply exactly these canonical option keys
   /// (overrides the strategy of the ReMac optimizer kinds).
   std::vector<std::string> forced_option_keys;
+  /// Execution backend. kTaskGraph runs independent statements
+  /// concurrently on the shared thread pool and additionally reports the
+  /// DAG's critical-path makespan; numerics stay bitwise-identical to
+  /// kSerial.
+  SchedulerKind scheduler = SchedulerKind::kSerial;
+  /// Thread count for the shared pool when scheduler == kTaskGraph
+  /// (0 = keep the pool's current size). Must not shrink/grow the pool
+  /// while another run is in flight.
+  int pool_threads = 0;
+  /// When non-empty (and scheduler == kTaskGraph), per-task trace events
+  /// are written to this path as Chrome-trace JSON (chrome://tracing).
+  std::string trace_path;
 };
 
 struct RunReport {
   /// Simulated cluster time (includes real compile wall time).
   TimeBreakdown breakdown;
   double compile_wall_seconds = 0.0;
+  /// Populated by the kTaskGraph scheduler: serial-sum vs critical-path
+  /// simulated time, task/edge counts (see ScheduleReport).
+  ScheduleReport schedule;
   OptimizeReport optimize;  // populated by the ReMac/SPORES paths
   std::map<std::string, RtValue> env;  // final variable values
   std::string optimized_source;        // final program rendering

@@ -1,0 +1,404 @@
+#include "sched/parallel_executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+
+#include "common/string_util.h"
+
+namespace remac {
+
+namespace {
+
+void AtomicAdd(std::atomic<double>& accumulator, double delta) {
+  double current = accumulator.load(std::memory_order_relaxed);
+  while (!accumulator.compare_exchange_weak(current, current + delta,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+/// Compute + transmission seconds a task ledger accumulated — the task's
+/// duration on the simulated cluster.
+double TaskCostSeconds(const TransmissionLedger& ledger) {
+  const TimeBreakdown b = ledger.Breakdown();
+  return b.computation_seconds + b.transmission_seconds;
+}
+
+}  // namespace
+
+std::string ScheduleReport::ToString() const {
+  return StringFormat(
+      "tasks=%lld edges=%lld pool_threads=%d workers=%d "
+      "serial=%s critical_path=%s makespan=%s speedup=%.2fx",
+      static_cast<long long>(tasks), static_cast<long long>(edges),
+      pool_threads, modeled_workers, HumanSeconds(serial_seconds).c_str(),
+      HumanSeconds(critical_path_seconds).c_str(),
+      HumanSeconds(makespan_seconds).c_str(), Speedup());
+}
+
+double ListScheduleMakespan(const std::vector<std::vector<int>>& deps,
+                            const std::vector<double>& costs, int workers) {
+  const size_t n = costs.size();
+  std::vector<double> finish(n, 0.0);
+  std::vector<double> worker_free(static_cast<size_t>(std::max(1, workers)),
+                                  0.0);
+  double makespan = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double ready = 0.0;
+    for (int dep : deps[i]) {
+      ready = std::max(ready, finish[static_cast<size_t>(dep)]);
+    }
+    size_t best = 0;
+    for (size_t w = 1; w < worker_free.size(); ++w) {
+      if (worker_free[w] < worker_free[best]) best = w;
+    }
+    const double start = std::max(ready, worker_free[best]);
+    finish[i] = start + costs[i];
+    worker_free[best] = finish[i];
+    makespan = std::max(makespan, finish[i]);
+  }
+  return makespan;
+}
+
+double CriticalPathSeconds(const std::vector<std::vector<int>>& deps,
+                           const std::vector<double>& costs) {
+  const size_t n = costs.size();
+  std::vector<double> finish(n, 0.0);
+  double longest = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double ready = 0.0;
+    for (int dep : deps[i]) {
+      ready = std::max(ready, finish[static_cast<size_t>(dep)]);
+    }
+    finish[i] = ready + costs[i];
+    longest = std::max(longest, finish[i]);
+  }
+  return longest;
+}
+
+ParallelExecutor::ParallelExecutor(const ClusterModel& model,
+                                   const DataCatalog* catalog,
+                                   TransmissionLedger* ledger,
+                                   ThreadPool* pool, EngineTraits traits)
+    : model_(model),
+      catalog_(catalog),
+      ledger_(ledger),
+      pool_(pool),
+      traits_(traits) {}
+
+Result<RtValue> ParallelExecutor::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(env_mu_);
+  auto it = env_.find(name);
+  if (it == env_.end()) {
+    return Status::NotFound("variable '" + name + "' is not defined");
+  }
+  return it->second;
+}
+
+RtValue ParallelExecutor::StoreGetOr(const std::string& name,
+                                     bool* found) const {
+  std::lock_guard<std::mutex> lock(env_mu_);
+  auto it = env_.find(name);
+  *found = it != env_.end();
+  return *found ? it->second : RtValue{};
+}
+
+void ParallelExecutor::StoreSet(const std::string& name, RtValue value) {
+  std::lock_guard<std::mutex> lock(env_mu_);
+  env_.insert_or_assign(name, std::move(value));
+}
+
+Executor ParallelExecutor::MakeTaskExecutor(
+    const std::vector<std::string>& reads, TransmissionLedger* task_ledger,
+    uint64_t rand_base) {
+  Executor executor(model_, catalog_, task_ledger, traits_);
+  executor.set_count_input_partition(count_input_partition_);
+  executor.set_shared_loaded_datasets(&datasets_);
+  executor.set_rand_counter(rand_base);
+  std::lock_guard<std::mutex> lock(env_mu_);
+  for (const std::string& name : reads) {
+    auto it = env_.find(name);
+    if (it != env_.end()) executor.Set(name, it->second);
+  }
+  return executor;
+}
+
+void ParallelExecutor::RecordTrace(const std::string& name,
+                                   const char* category, double start_us,
+                                   double end_us, double queue_us,
+                                   const TransmissionLedger& task_ledger) {
+  if (trace_ == nullptr) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.thread = ThreadPool::CurrentWorkerId();
+  event.start_us = start_us;
+  event.duration_us = std::max(0.0, end_us - start_us);
+  event.queue_us = queue_us;
+  event.flops = task_ledger.TotalFlops();
+  event.bytes = task_ledger.TotalBytes();
+  trace_->Record(event);
+}
+
+Status ParallelExecutor::Run(const std::vector<CompiledStmt>& statements,
+                             int max_loop_iterations) {
+  REMAC_ASSIGN_OR_RETURN(
+      const ListTimes times,
+      RunList(statements, max_loop_iterations, /*barrier_commit=*/false,
+              /*rand_base=*/0));
+  schedule_.used = true;
+  schedule_.pool_threads = pool_->size();
+  schedule_.modeled_workers = std::max(1, model_.num_workers);
+  schedule_.tasks = tasks_run_.load(std::memory_order_relaxed);
+  schedule_.edges = edges_seen_.load(std::memory_order_relaxed);
+  schedule_.serial_seconds = serial_seconds_.load(std::memory_order_relaxed);
+  // The clamps only absorb floating-point association noise: list
+  // scheduling on >= 1 worker can mathematically neither beat the
+  // critical path nor lose to the serial sum.
+  schedule_.critical_path_seconds =
+      std::min(schedule_.critical_path_seconds + times.critical_path_seconds,
+               schedule_.serial_seconds);
+  schedule_.makespan_seconds = std::clamp(
+      schedule_.makespan_seconds + times.makespan_seconds,
+      schedule_.critical_path_seconds, schedule_.serial_seconds);
+  return Status::OK();
+}
+
+Result<ParallelExecutor::ListTimes> ParallelExecutor::RunList(
+    const std::vector<CompiledStmt>& statements, int max_loop_iterations,
+    bool barrier_commit, uint64_t rand_base) {
+  ListTimes times;
+  if (statements.empty()) return times;
+  if (barrier_commit) {
+    for (const CompiledStmt& stmt : statements) {
+      if (stmt.kind != CompiledStmt::Kind::kAssign) {
+        return Status::Unsupported("nested loop in barrier-commit body");
+      }
+    }
+  }
+
+  const TaskGraph graph = BuildTaskGraph(statements, barrier_commit);
+  const size_t n = graph.nodes.size();
+  edges_seen_.fetch_add(graph.EdgeCount(), std::memory_order_relaxed);
+
+  struct NodeState {
+    std::atomic<int> remaining{0};
+    /// rand() draws this node actually consumed (loops; set on finish).
+    std::atomic<uint64_t> consumed{0};
+    double cost_makespan = 0.0;
+    double cost_critical = 0.0;
+    double ready_us = 0.0;
+  };
+  std::vector<NodeState> state(n);
+  std::vector<std::vector<int>> unique_deps(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::set<int> dep_ids;
+    for (const TaskDep& dep : graph.nodes[i].deps) dep_ids.insert(dep.task);
+    unique_deps[i].assign(dep_ids.begin(), dep_ids.end());
+    state[i].remaining.store(static_cast<int>(dep_ids.size()),
+                             std::memory_order_relaxed);
+  }
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t outstanding = n;
+  std::atomic<bool> failed{false};
+  Status first_error = Status::OK();
+  std::mutex error_mu;
+  // Barrier-commit: non-temp results stage here, committed in statement
+  // order after the whole list finished (Executor's loop semantics).
+  std::vector<std::unique_ptr<RtValue>> staged(n);
+
+  std::function<void(int)> execute;
+  auto submit = [&](int id) {
+    state[static_cast<size_t>(id)].ready_us =
+        trace_ != nullptr ? trace_->NowMicros() : 0.0;
+    pool_->Submit([&execute, id] { execute(id); });
+  };
+  auto fail = [&](Status status) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (!failed.load(std::memory_order_relaxed)) {
+      first_error = std::move(status);
+      failed.store(true, std::memory_order_release);
+    }
+  };
+
+  execute = [&](int id) {
+    const TaskNode& node = graph.nodes[static_cast<size_t>(id)];
+    NodeState& ns = state[static_cast<size_t>(id)];
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    if (!failed.load(std::memory_order_acquire)) {
+      // Serial position in the rand() stream: every earlier statement's
+      // consumption is either static (assignments) or pinned by a
+      // rand-order edge (loops, already finished).
+      uint64_t base = rand_base;
+      if (node.rand_count > 0 || node.dynamic_rand) {
+        for (int j = 0; j < id; ++j) {
+          const TaskNode& prev = graph.nodes[static_cast<size_t>(j)];
+          base += prev.dynamic_rand
+                      ? state[static_cast<size_t>(j)].consumed.load(
+                            std::memory_order_acquire)
+                      : static_cast<uint64_t>(prev.rand_count);
+        }
+      }
+      const double start_us = trace_ != nullptr ? trace_->NowMicros() : 0.0;
+      if (node.stmt->kind == CompiledStmt::Kind::kAssign) {
+        TransmissionLedger task_ledger(model_);
+        Executor executor =
+            MakeTaskExecutor(node.reads, &task_ledger, base);
+        Result<RtValue> value = executor.Eval(*node.stmt->plan);
+        if (!value.ok()) {
+          fail(value.status());
+        } else if (barrier_commit && !node.stmt->is_temp) {
+          staged[static_cast<size_t>(id)] =
+              std::make_unique<RtValue>(std::move(value).value());
+        } else {
+          StoreSet(node.stmt->target, std::move(value).value());
+        }
+        ns.consumed.store(executor.rand_counter() - base,
+                          std::memory_order_release);
+        ops_executed_.fetch_add(executor.ops_executed(),
+                                std::memory_order_relaxed);
+        const double cost = TaskCostSeconds(task_ledger);
+        ns.cost_makespan = cost;
+        ns.cost_critical = cost;
+        AtomicAdd(serial_seconds_, cost);
+        if (ledger_ != nullptr) ledger_->MergeFrom(task_ledger);
+        RecordTrace(node.label, "task", start_us,
+                    trace_ != nullptr ? trace_->NowMicros() : 0.0,
+                    std::max(0.0, start_us - ns.ready_us), task_ledger);
+      } else {
+        Result<ListTimes> loop =
+            RunLoop(*node.stmt, max_loop_iterations, base);
+        if (!loop.ok()) {
+          fail(loop.status());
+        } else {
+          ns.cost_makespan = loop->makespan_seconds;
+          ns.cost_critical = loop->critical_path_seconds;
+          ns.consumed.store(loop->rand_consumed, std::memory_order_release);
+        }
+        if (trace_ != nullptr) {
+          TransmissionLedger empty(model_);
+          RecordTrace(node.label, "loop", start_us, trace_->NowMicros(),
+                      std::max(0.0, start_us - ns.ready_us), empty);
+        }
+      }
+    }
+    for (int dependent : node.dependents) {
+      if (state[static_cast<size_t>(dependent)].remaining.fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        submit(dependent);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--outstanding == 0) done_cv.notify_all();
+    }
+  };
+
+  // Snapshot the ready set before submitting anything: a submitted task
+  // can finish and submit its dependents concurrently, so probing
+  // `remaining` on the fly would double-submit a freshly-unblocked node.
+  std::vector<int> initially_ready;
+  for (size_t i = 0; i < n; ++i) {
+    if (state[i].remaining.load(std::memory_order_relaxed) == 0) {
+      initially_ready.push_back(static_cast<int>(i));
+    }
+  }
+  for (int id : initially_ready) submit(id);
+  // Help drain the pool while waiting; keeps nested lists (loop bodies
+  // running on pool threads) deadlock-free at any pool size.
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (outstanding == 0) break;
+    }
+    if (pool_->TryRunOne()) continue;
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait_for(lock, std::chrono::milliseconds(1),
+                     [&] { return outstanding == 0; });
+    if (outstanding == 0) break;
+  }
+  if (failed.load(std::memory_order_acquire)) return first_error;
+
+  for (size_t i = 0; i < n; ++i) {
+    if (staged[i] != nullptr) {
+      StoreSet(statements[i].target, std::move(*staged[i]));
+    }
+  }
+
+  std::vector<double> costs_makespan(n);
+  std::vector<double> costs_critical(n);
+  for (size_t i = 0; i < n; ++i) {
+    costs_makespan[i] = state[i].cost_makespan;
+    costs_critical[i] = state[i].cost_critical;
+    times.rand_consumed +=
+        graph.nodes[i].dynamic_rand
+            ? state[i].consumed.load(std::memory_order_relaxed)
+            : static_cast<uint64_t>(graph.nodes[i].rand_count);
+  }
+  times.makespan_seconds = ListScheduleMakespan(
+      unique_deps, costs_makespan, std::max(1, model_.num_workers));
+  times.critical_path_seconds =
+      CriticalPathSeconds(unique_deps, costs_critical);
+  return times;
+}
+
+Result<ParallelExecutor::ListTimes> ParallelExecutor::RunLoop(
+    const CompiledStmt& stmt, int max_loop_iterations, uint64_t rand_base) {
+  ListTimes total;
+  int64_t limit = max_loop_iterations;
+  if (stmt.static_trip_count >= 0) {
+    limit = std::min<int64_t>(limit, stmt.static_trip_count);
+  }
+  if (!stmt.loop_var.empty()) {
+    StoreSet(stmt.loop_var, RtValue::Scalar(stmt.loop_begin));
+  }
+  uint64_t consumed = 0;
+  for (int64_t iter = 0; iter < limit; ++iter) {
+    if (stmt.condition != nullptr) {
+      std::set<std::string> cond_reads;
+      CollectPlanReads(*stmt.condition, &cond_reads);
+      const uint64_t before = rand_base + consumed;
+      TransmissionLedger cond_ledger(model_);
+      Executor executor = MakeTaskExecutor(
+          std::vector<std::string>(cond_reads.begin(), cond_reads.end()),
+          &cond_ledger, before);
+      const double start_us = trace_ != nullptr ? trace_->NowMicros() : 0.0;
+      REMAC_ASSIGN_OR_RETURN(const RtValue cond,
+                             executor.Eval(*stmt.condition));
+      REMAC_ASSIGN_OR_RETURN(const double flag, cond.AsScalar());
+      consumed += executor.rand_counter() - before;
+      ops_executed_.fetch_add(executor.ops_executed(),
+                              std::memory_order_relaxed);
+      const double cost = TaskCostSeconds(cond_ledger);
+      total.makespan_seconds += cost;
+      total.critical_path_seconds += cost;
+      AtomicAdd(serial_seconds_, cost);
+      if (ledger_ != nullptr) ledger_->MergeFrom(cond_ledger);
+      RecordTrace("loop-cond", "condition", start_us,
+                  trace_ != nullptr ? trace_->NowMicros() : 0.0, 0.0,
+                  cond_ledger);
+      if (flag == 0.0) break;
+    }
+    REMAC_ASSIGN_OR_RETURN(
+        const ListTimes body,
+        RunList(stmt.body, max_loop_iterations, stmt.barrier_commit,
+                rand_base + consumed));
+    // Iterations are sequential: their DAG makespans add up.
+    total.makespan_seconds += body.makespan_seconds;
+    total.critical_path_seconds += body.critical_path_seconds;
+    consumed += body.rand_consumed;
+    if (!stmt.loop_var.empty()) {
+      StoreSet(stmt.loop_var,
+               RtValue::Scalar(stmt.loop_begin +
+                               static_cast<double>(iter + 1)));
+    }
+  }
+  total.rand_consumed = consumed;
+  return total;
+}
+
+}  // namespace remac

@@ -1,0 +1,205 @@
+#include "sched/task_graph.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace remac {
+
+const char* DepKindName(DepKind kind) {
+  switch (kind) {
+    case DepKind::kRaw: return "RAW";
+    case DepKind::kWar: return "WAR";
+    case DepKind::kWaw: return "WAW";
+    case DepKind::kRandOrder: return "RAND";
+  }
+  return "?";
+}
+
+bool TaskNode::DependsOn(int task) const {
+  for (const TaskDep& dep : deps) {
+    if (dep.task == task) return true;
+  }
+  return false;
+}
+
+const TaskDep* TaskNode::FindDep(int task, DepKind kind) const {
+  for (const TaskDep& dep : deps) {
+    if (dep.task == task && dep.kind == kind) return &dep;
+  }
+  return nullptr;
+}
+
+int64_t TaskGraph::EdgeCount() const {
+  int64_t total = 0;
+  for (const TaskNode& node : nodes) {
+    total += static_cast<int64_t>(node.deps.size());
+  }
+  return total;
+}
+
+std::string TaskGraph::ToString() const {
+  std::string out;
+  for (const TaskNode& node : nodes) {
+    out += StringFormat("%d [%s]", node.id, node.label.c_str());
+    if (!node.deps.empty()) {
+      out += " <-";
+      for (const TaskDep& dep : node.deps) {
+        out += StringFormat(" %s(%s) %d", DepKindName(dep.kind),
+                            dep.var.c_str(), dep.task);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void CollectPlanReads(const PlanNode& node, std::set<std::string>* reads) {
+  if (node.op == PlanOp::kInput) reads->insert(node.name);
+  for (const auto& child : node.children) {
+    CollectPlanReads(*child, reads);
+  }
+}
+
+int CountRandNodes(const PlanNode& node) {
+  int count = node.op == PlanOp::kRand ? 1 : 0;
+  for (const auto& child : node.children) {
+    count += CountRandNodes(*child);
+  }
+  return count;
+}
+
+void CollectStmtAccess(const CompiledStmt& stmt,
+                       std::set<std::string>* reads,
+                       std::set<std::string>* writes) {
+  if (stmt.kind == CompiledStmt::Kind::kAssign) {
+    if (stmt.plan != nullptr) CollectPlanReads(*stmt.plan, reads);
+    writes->insert(stmt.target);
+    return;
+  }
+  if (stmt.condition != nullptr) CollectPlanReads(*stmt.condition, reads);
+  if (!stmt.loop_var.empty()) writes->insert(stmt.loop_var);
+  for (const CompiledStmt& body_stmt : stmt.body) {
+    CollectStmtAccess(body_stmt, reads, writes);
+  }
+}
+
+namespace {
+
+/// rand() nodes one run of the statement evaluates (loops: condition +
+/// one body pass).
+int StmtRandCount(const CompiledStmt& stmt) {
+  if (stmt.kind == CompiledStmt::Kind::kAssign) {
+    return stmt.plan != nullptr ? CountRandNodes(*stmt.plan) : 0;
+  }
+  int count =
+      stmt.condition != nullptr ? CountRandNodes(*stmt.condition) : 0;
+  for (const CompiledStmt& body_stmt : stmt.body) {
+    count += StmtRandCount(body_stmt);
+  }
+  return count;
+}
+
+void AddDep(TaskNode* node, int task, DepKind kind, const std::string& var) {
+  if (task == node->id) return;
+  TaskDep dep{task, kind, var};
+  if (std::find(node->deps.begin(), node->deps.end(), dep) !=
+      node->deps.end()) {
+    return;
+  }
+  node->deps.push_back(std::move(dep));
+}
+
+}  // namespace
+
+TaskGraph BuildTaskGraph(const std::vector<CompiledStmt>& statements,
+                         bool barrier_commit) {
+  TaskGraph graph;
+  graph.nodes.resize(statements.size());
+
+  std::map<std::string, int> version;      // current version (0 = incoming)
+  std::map<std::string, int> last_writer;  // task producing current version
+  std::map<std::string, std::vector<int>> readers;  // of the current version
+  std::vector<int> dynamic_rand_tasks;
+
+  for (size_t i = 0; i < statements.size(); ++i) {
+    const CompiledStmt& stmt = statements[i];
+    TaskNode& node = graph.nodes[i];
+    node.id = static_cast<int>(i);
+    node.stmt = &stmt;
+    node.label =
+        stmt.kind == CompiledStmt::Kind::kAssign ? stmt.target : "loop";
+
+    std::set<std::string> reads;
+    std::set<std::string> writes;
+    CollectStmtAccess(stmt, &reads, &writes);
+    node.reads.assign(reads.begin(), reads.end());
+    node.writes.assign(writes.begin(), writes.end());
+    node.rand_count = StmtRandCount(stmt);
+    node.dynamic_rand =
+        stmt.kind == CompiledStmt::Kind::kLoop && node.rand_count > 0;
+
+    // Reads bind to the current version of each variable (RAW).
+    for (const std::string& name : reads) {
+      node.read_versions[name] = version[name];
+      auto writer = last_writer.find(name);
+      if (writer != last_writer.end()) {
+        AddDep(&node, writer->second, DepKind::kRaw, name);
+      }
+    }
+
+    // In a barrier-commit body, non-temp assignments stage their writes:
+    // they induce no WAR/WAW hazards and do not advance versions, so
+    // later readers keep seeing start-of-iteration values.
+    const bool staged = barrier_commit &&
+                        stmt.kind == CompiledStmt::Kind::kAssign &&
+                        !stmt.is_temp;
+    for (const std::string& name : writes) {
+      if (staged) {
+        node.write_versions[name] = version[name];
+        continue;
+      }
+      auto writer = last_writer.find(name);
+      if (writer != last_writer.end()) {
+        AddDep(&node, writer->second, DepKind::kWaw, name);
+      }
+      for (int reader : readers[name]) {
+        AddDep(&node, reader, DepKind::kWar, name);
+      }
+    }
+    // Register reads after hazard detection so self-reads (x = x + 1)
+    // do not create self-edges.
+    for (const std::string& name : reads) {
+      readers[name].push_back(node.id);
+    }
+    for (const std::string& name : writes) {
+      if (staged) continue;
+      node.write_versions[name] = ++version[name];
+      last_writer[name] = node.id;
+      readers[name].clear();
+    }
+
+    // rand() stream ordering: anything consuming the stream after a loop
+    // with a dynamic draw count must wait for that loop to finish, so its
+    // own base offset is known.
+    if (node.rand_count > 0 || node.dynamic_rand) {
+      for (int task : dynamic_rand_tasks) {
+        AddDep(&node, task, DepKind::kRandOrder, "");
+      }
+    }
+    if (node.dynamic_rand) dynamic_rand_tasks.push_back(node.id);
+  }
+
+  // Outgoing edges (unique).
+  for (TaskNode& node : graph.nodes) {
+    std::set<int> seen;
+    for (const TaskDep& dep : node.deps) {
+      if (seen.insert(dep.task).second) {
+        graph.nodes[dep.task].dependents.push_back(node.id);
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace remac

@@ -1,0 +1,109 @@
+#ifndef REMAC_SCHED_TASK_GRAPH_H_
+#define REMAC_SCHED_TASK_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "plan/plan_builder.h"
+
+namespace remac {
+
+/// Hazard class of a dependency edge.
+enum class DepKind {
+  kRaw,        // read-after-write: reader needs the writer's value
+  kWar,        // write-after-read: writer must wait for readers
+  kWaw,        // write-after-write: later write wins
+  kRandOrder,  // rand() stream ordering after a dynamic consumer (loop)
+};
+
+const char* DepKindName(DepKind kind);
+
+/// One incoming dependency edge.
+struct TaskDep {
+  int task = -1;  // id of the prerequisite task
+  DepKind kind = DepKind::kRaw;
+  std::string var;  // variable that induced the hazard ("" for rand-order)
+
+  bool operator==(const TaskDep&) const = default;
+};
+
+/// \brief One node of the statement-level task DAG.
+///
+/// A node wraps one CompiledStmt of a statement list: either an
+/// assignment (a leaf of real work) or a whole loop (whose body spawns
+/// its own per-iteration DAG at execution time). `read_versions` /
+/// `write_versions` record which SSA-style version of each variable the
+/// statement consumes/produces — the same "@k" versioning the optimizer
+/// uses for its search-space keys (docs/INTERNALS.md §2).
+struct TaskNode {
+  int id = 0;
+  const CompiledStmt* stmt = nullptr;
+  std::string label;  // assignment target, or "loop" for kLoop nodes
+
+  std::vector<TaskDep> deps;   // incoming edges (prerequisites)
+  std::vector<int> dependents;  // outgoing edges (unique task ids)
+
+  std::vector<std::string> reads;   // environment variables read
+  std::vector<std::string> writes;  // environment variables written
+  /// Version of each read variable at this statement (0 = the value the
+  /// list was entered with).
+  std::map<std::string, int> read_versions;
+  /// Version each written variable has after this statement.
+  std::map<std::string, int> write_versions;
+
+  /// Number of rand() plan nodes one execution of this statement
+  /// evaluates (loops: one iteration of condition + body).
+  int rand_count = 0;
+  /// True for loops containing rand(): their total consumption depends
+  /// on the executed trip count, so later rand() users must wait.
+  bool dynamic_rand = false;
+
+  bool DependsOn(int task) const;
+  const TaskDep* FindDep(int task, DepKind kind) const;
+};
+
+/// \brief The dependency DAG of one statement list.
+///
+/// Edges always point from an earlier statement to a later one (ids are
+/// statement indices), so id order is a topological order.
+struct TaskGraph {
+  std::vector<TaskNode> nodes;
+
+  int64_t EdgeCount() const;
+  /// Multi-line debug rendering ("2 <- RAW(a@1) 0, WAW(a) 0").
+  std::string ToString() const;
+};
+
+/// Collects the environment variables a plan tree reads (kInput leaves).
+void CollectPlanReads(const PlanNode& node, std::set<std::string>* reads);
+
+/// Counts rand() generator nodes in a plan tree (each consumes one draw
+/// of the executor's deterministic rand stream).
+int CountRandNodes(const PlanNode& node);
+
+/// Collects the variables a statement reads and writes. Loops aggregate
+/// their condition and whole body (conservatively: every name read
+/// anywhere in the body counts as a loop-level read).
+void CollectStmtAccess(const CompiledStmt& stmt,
+                       std::set<std::string>* reads,
+                       std::set<std::string>* writes);
+
+/// \brief Builds the dependency DAG over one statement list.
+///
+/// Derives RAW/WAR/WAW edges from per-variable versions: each write
+/// bumps the variable's version; readers bind to the current version and
+/// writers serialize against the previous writer and its readers.
+///
+/// `barrier_commit` mirrors Executor's barrier-commit loop semantics:
+/// non-temp assignments stage their writes (committed together at the end
+/// of the list), so they produce no WAR/WAW hazards and readers keep
+/// seeing the version-0 (start-of-iteration) value; optimizer temps
+/// commit immediately and are versioned normally.
+TaskGraph BuildTaskGraph(const std::vector<CompiledStmt>& statements,
+                         bool barrier_commit = false);
+
+}  // namespace remac
+
+#endif  // REMAC_SCHED_TASK_GRAPH_H_

@@ -1,0 +1,180 @@
+#include "sched/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace remac {
+
+namespace {
+
+thread_local int tl_worker_id = -1;
+
+int ResolveThreads(int threads) {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(std::min(hw, 16u));
+}
+
+/// Holder for the process-wide pool; reset by SetGlobalThreads.
+struct GlobalPoolHolder {
+  std::mutex mu;
+  std::unique_ptr<ThreadPool> pool;
+  int configured = 0;  // <= 0: hardware default
+};
+
+GlobalPoolHolder& Holder() {
+  static GlobalPoolHolder holder;
+  return holder;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = ResolveThreads(threads);
+  queues_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) queues_.push_back(std::make_unique<Queue>());
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    sleep_cv_.notify_all();
+  }
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  const size_t target = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                        queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->items.push_back(std::move(fn));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    sleep_cv_.notify_one();
+  }
+}
+
+bool ThreadPool::PopTask(int preferred, std::function<void()>* out) {
+  const int n = static_cast<int>(queues_.size());
+  // Own queue first (front: LIFO-ish locality for the owner is not
+  // needed here; FIFO keeps DAG submission order roughly intact).
+  for (int probe = 0; probe < n; ++probe) {
+    const int q = (preferred + probe) % n;
+    Queue& queue = *queues_[q];
+    std::lock_guard<std::mutex> lock(queue.mu);
+    if (queue.items.empty()) continue;
+    if (probe == 0) {
+      *out = std::move(queue.items.front());
+      queue.items.pop_front();
+    } else {
+      // Steal from the back to reduce contention with the owner.
+      *out = std::move(queue.items.back());
+      queue.items.pop_back();
+    }
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(int index) {
+  tl_worker_id = index;
+  std::function<void()> task;
+  while (true) {
+    if (PopTask(index, &task)) {
+      task();
+      task = nullptr;
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    sleep_cv_.wait_for(lock, std::chrono::milliseconds(50), [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+  }
+  tl_worker_id = -1;
+}
+
+bool ThreadPool::TryRunOne() {
+  const int preferred =
+      tl_worker_id >= 0
+          ? tl_worker_id
+          : static_cast<int>(next_queue_.load(std::memory_order_relaxed) %
+                             queues_.size());
+  std::function<void()> task;
+  if (!PopTask(preferred, &task)) return false;
+  task();
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ThreadPool::RunAndWait(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (tasks.size() == 1) {
+    tasks[0]();
+    return;
+  }
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    int remaining;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = static_cast<int>(tasks.size()) - 1;
+  for (size_t i = 1; i < tasks.size(); ++i) {
+    Submit([latch, task = std::move(tasks[i])] {
+      task();
+      std::lock_guard<std::mutex> lock(latch->mu);
+      if (--latch->remaining == 0) latch->cv.notify_all();
+    });
+  }
+  // The caller contributes the first chunk, then helps drain queues
+  // until its own sub-tasks finished — this is what makes nested
+  // RunAndWait deadlock-free even on a single-thread pool.
+  tasks[0]();
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(latch->mu);
+      if (latch->remaining == 0) return;
+    }
+    if (TryRunOne()) continue;
+    std::unique_lock<std::mutex> lock(latch->mu);
+    latch->cv.wait_for(lock, std::chrono::milliseconds(1),
+                       [&] { return latch->remaining == 0; });
+    if (latch->remaining == 0) return;
+  }
+}
+
+int ThreadPool::CurrentWorkerId() { return tl_worker_id; }
+
+ThreadPool& ThreadPool::Global() {
+  GlobalPoolHolder& holder = Holder();
+  std::lock_guard<std::mutex> lock(holder.mu);
+  if (holder.pool == nullptr) {
+    holder.pool = std::make_unique<ThreadPool>(holder.configured);
+  }
+  return *holder.pool;
+}
+
+void ThreadPool::SetGlobalThreads(int threads) {
+  GlobalPoolHolder& holder = Holder();
+  std::lock_guard<std::mutex> lock(holder.mu);
+  holder.configured = threads;
+  if (holder.pool != nullptr &&
+      holder.pool->size() == ResolveThreads(threads)) {
+    return;
+  }
+  holder.pool.reset();  // joins workers; Global() recreates on demand
+}
+
+}  // namespace remac

@@ -1,0 +1,92 @@
+#ifndef REMAC_SCHED_THREAD_POOL_H_
+#define REMAC_SCHED_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace remac {
+
+/// \brief Persistent work-stealing thread pool.
+///
+/// Each worker owns a deque: Submit distributes tasks round-robin across
+/// the deques, workers pop from the front of their own deque and steal
+/// from the back of a sibling's when it runs dry. The pool is shared
+/// process-wide (see Global()): both the local matrix kernels and the
+/// task-graph executor run on it, so a kernel invoked from inside a DAG
+/// task reuses the same threads instead of spawning fresh ones.
+///
+/// Nested blocking is safe at any pool size, including 1: a thread that
+/// waits for sub-tasks (RunAndWait) keeps draining queues through
+/// TryRunOne instead of sleeping, so the pool cannot deadlock on
+/// recursive fan-out (DAG task -> kernel ParallelFor -> pool).
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects the hardware default (capped at 16).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> fn);
+
+  /// Runs one pending task on the calling thread, if any queue holds one.
+  /// Returns false when everything was empty. External threads use this
+  /// to participate in pool work while they wait.
+  bool TryRunOne();
+
+  /// Runs every closure — on the pool workers plus the calling thread —
+  /// and returns once all of them completed. Safe to call from inside a
+  /// pool task (the caller helps instead of blocking).
+  void RunAndWait(std::vector<std::function<void()>> tasks);
+
+  /// Index of the current pool worker thread, or -1 for external threads.
+  static int CurrentWorkerId();
+
+  /// The process-wide shared pool.
+  static ThreadPool& Global();
+
+  /// Re-creates the global pool with `threads` workers (<= 0 restores the
+  /// hardware default). No-ops when the size already matches. Must not be
+  /// called while pool work is in flight.
+  static void SetGlobalThreads(int threads);
+
+  /// Total tasks executed since construction (observability and tests).
+  int64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> items;
+  };
+
+  void WorkerLoop(int index);
+  /// Pops from queue `preferred` first (front), then steals from the
+  /// others (back). Returns false when every queue was empty.
+  bool PopTask(int preferred, std::function<void()>* out);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> next_queue_{0};
+  std::atomic<int64_t> pending_{0};
+  std::atomic<int64_t> tasks_executed_{0};
+};
+
+}  // namespace remac
+
+#endif  // REMAC_SCHED_THREAD_POOL_H_

@@ -1,0 +1,85 @@
+#include "sched/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace remac {
+
+namespace {
+
+double SteadyMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Minimal JSON string escaping (labels are identifiers in practice).
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceSink::TraceSink() : origin_us_(SteadyMicros()) {}
+
+void TraceSink::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+double TraceSink::NowMicros() const { return SteadyMicros() - origin_us_; }
+
+std::vector<TraceEvent> TraceSink::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+int64_t TraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(events_.size());
+}
+
+std::string TraceSink::ToChromeJson() const {
+  const std::vector<TraceEvent> events = Events();
+  std::string out = "{\"traceEvents\":[\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out += StringFormat(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":0,"
+        "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,"
+        "\"args\":{\"queue_us\":%.3f,\"flops\":%.0f,\"bytes\":%.0f}}%s\n",
+        JsonEscape(e.name).c_str(), JsonEscape(e.category).c_str(),
+        e.thread, e.start_us, e.duration_us, e.queue_us, e.flops, e.bytes,
+        i + 1 < events.size() ? "," : "");
+  }
+  out += "]}\n";
+  return out;
+}
+
+Status TraceSink::WriteChromeJson(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Internal("cannot open trace file '" + path + "'");
+  }
+  const std::string json = ToChromeJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  if (written != json.size()) {
+    return Status::Internal("short write to trace file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace remac

@@ -1,0 +1,59 @@
+#ifndef REMAC_SCHED_TRACE_H_
+#define REMAC_SCHED_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace remac {
+
+/// One completed task execution, in wall-clock microseconds relative to
+/// the owning sink's construction.
+struct TraceEvent {
+  std::string name;      // task label (assignment target, "loop", ...)
+  std::string category;  // "task", "loop", "condition"
+  int thread = -1;       // pool worker index (-1 = external caller)
+  double start_us = 0.0;
+  double duration_us = 0.0;
+  /// Latency between the task becoming ready (all deps met) and its
+  /// execution starting — queueing + steal delay.
+  double queue_us = 0.0;
+  /// Simulated work the task booked while running.
+  double flops = 0.0;
+  double bytes = 0.0;
+};
+
+/// \brief Thread-safe collector of per-task trace events.
+///
+/// The parallel executor records one event per executed task; the sink
+/// serializes them as a Chrome-trace JSON (load via chrome://tracing or
+/// https://ui.perfetto.dev) with one row per pool worker.
+class TraceSink {
+ public:
+  TraceSink();
+
+  void Record(TraceEvent event);
+
+  /// Microseconds elapsed since the sink was created (event timestamps).
+  double NowMicros() const;
+
+  std::vector<TraceEvent> Events() const;
+  int64_t size() const;
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}).
+  std::string ToChromeJson() const;
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  /// Steady-clock origin, in microseconds since an arbitrary epoch.
+  double origin_us_ = 0.0;
+};
+
+}  // namespace remac
+
+#endif  // REMAC_SCHED_TRACE_H_

@@ -1,0 +1,454 @@
+// Tests for the task-graph scheduler subsystem: the work-stealing pool,
+// DAG construction from variable versions, thread-safe ledger booking,
+// bitwise determinism of the parallel executor, makespan accounting and
+// the Chrome-trace sink.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algorithms/scripts.h"
+#include "data/generators.h"
+#include "plan/plan_builder.h"
+#include "runtime/executor.h"
+#include "runtime/program_runner.h"
+#include "sched/parallel_executor.h"
+#include "sched/task_graph.h"
+#include "sched/thread_pool.h"
+#include "sched/trace.h"
+
+namespace remac {
+namespace {
+
+DataCatalog SchedCatalog() {
+  DataCatalog catalog;
+  DatasetSpec spec;
+  spec.name = "ds";
+  spec.rows = 50;
+  spec.cols = 6;
+  spec.sparsity = 0.5;
+  spec.seed = 9;
+  EXPECT_TRUE(RegisterDataset(&catalog, spec).ok());
+  return catalog;
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPool, RunAndWaitExecutesEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([&count] { count.fetch_add(1); });
+  }
+  pool.RunAndWait(std::move(tasks));
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, NestedRunAndWaitDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.push_back([&pool, &count] {
+      std::vector<std::function<void()>> inner;
+      for (int j = 0; j < 4; ++j) {
+        inner.push_back([&count] { count.fetch_add(1); });
+      }
+      pool.RunAndWait(std::move(inner));
+    });
+  }
+  pool.RunAndWait(std::move(outer));
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, SizeOnePoolStillCompletesNestedWork) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 3; ++i) {
+    outer.push_back([&pool, &count] {
+      std::vector<std::function<void()>> inner;
+      for (int j = 0; j < 3; ++j) {
+        inner.push_back([&count] { count.fetch_add(1); });
+      }
+      pool.RunAndWait(std::move(inner));
+    });
+  }
+  pool.RunAndWait(std::move(outer));
+  EXPECT_EQ(count.load(), 9);
+}
+
+TEST(ThreadPool, TryRunOneDrainsSubmittedWork) {
+  ThreadPool pool(1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran.store(true); });
+  // Either the worker or this loop picks it up.
+  for (int i = 0; i < 10000 && !ran.load(); ++i) pool.TryRunOne();
+  while (!ran.load()) {
+  }
+  EXPECT_TRUE(ran.load());
+  EXPECT_GE(pool.tasks_executed(), 1);
+}
+
+TEST(ThreadPool, CurrentWorkerIdIsMinusOneOutsideThePool) {
+  EXPECT_EQ(ThreadPool::CurrentWorkerId(), -1);
+}
+
+// ---------------------------------------------------------------------------
+// TransmissionLedger thread safety (satellite: contention test)
+
+TEST(Ledger, ConcurrentBookingLosesNoUpdates) {
+  const ClusterModel model;
+  TransmissionLedger ledger(model);
+  ThreadPool pool(8);
+  constexpr int kTasks = 16;
+  constexpr int kAddsPerTask = 2000;
+  std::vector<std::function<void()>> tasks;
+  for (int t = 0; t < kTasks; ++t) {
+    tasks.push_back([&ledger] {
+      for (int i = 0; i < kAddsPerTask; ++i) {
+        ledger.AddDistributedFlops(1.0);
+        ledger.AddLocalFlops(2.0);
+        ledger.AddTransmission(TransmissionPrimitive::kShuffle, 3.0);
+        ledger.AddInputPartition(4.0);
+      }
+    });
+  }
+  pool.RunAndWait(std::move(tasks));
+  // Sums of small integers are exact in double precision, so any lost
+  // update shows up as an exact mismatch.
+  const double n = kTasks * kAddsPerTask;
+  EXPECT_DOUBLE_EQ(ledger.TotalFlops(), 1.0 * n + 2.0 * n);
+  EXPECT_DOUBLE_EQ(ledger.BytesFor(TransmissionPrimitive::kShuffle), 3.0 * n);
+}
+
+TEST(Ledger, MergeFromFoldsEveryAccumulator) {
+  const ClusterModel model;
+  TransmissionLedger a(model);
+  TransmissionLedger b(model);
+  a.AddDistributedFlops(10.0);
+  b.AddDistributedFlops(5.0);
+  b.AddLocalFlops(7.0);
+  b.AddTransmission(TransmissionPrimitive::kBroadcast, 100.0);
+  b.AddCompilationSeconds(0.5);
+  a.MergeFrom(b);
+  EXPECT_DOUBLE_EQ(a.TotalFlops(), 22.0);
+  EXPECT_DOUBLE_EQ(a.BytesFor(TransmissionPrimitive::kBroadcast), 100.0);
+  EXPECT_DOUBLE_EQ(a.Breakdown().compilation_seconds, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// TaskGraph construction
+
+TEST(TaskGraph, RawWarWawEdgesFollowVariableVersions) {
+  const DataCatalog catalog = SchedCatalog();
+  auto program =
+      CompileScript("a = 1;\nb = a + 1;\na = b * 2;\nc = a + b;\n", catalog);
+  ASSERT_TRUE(program.ok());
+  const TaskGraph graph = BuildTaskGraph(program->statements);
+  ASSERT_EQ(graph.nodes.size(), 4u);
+
+  // b = a + 1 reads a@1 produced by statement 0.
+  const TaskNode& read_b = graph.nodes[1];
+  ASSERT_NE(read_b.FindDep(0, DepKind::kRaw), nullptr);
+  EXPECT_EQ(read_b.FindDep(0, DepKind::kRaw)->var, "a");
+  EXPECT_EQ(read_b.read_versions.at("a"), 1);
+
+  // a = b * 2 rewrites a: RAW on b's writer, WAW on a's first writer,
+  // WAR on a's reader.
+  const TaskNode& rewrite_a = graph.nodes[2];
+  EXPECT_NE(rewrite_a.FindDep(1, DepKind::kRaw), nullptr);
+  EXPECT_NE(rewrite_a.FindDep(0, DepKind::kWaw), nullptr);
+  EXPECT_NE(rewrite_a.FindDep(1, DepKind::kWar), nullptr);
+  EXPECT_EQ(rewrite_a.write_versions.at("a"), 2);
+
+  // c = a + b consumes the *second* version of a.
+  const TaskNode& read_c = graph.nodes[3];
+  EXPECT_NE(read_c.FindDep(2, DepKind::kRaw), nullptr);
+  EXPECT_EQ(read_c.read_versions.at("a"), 2);
+  EXPECT_EQ(read_c.read_versions.at("b"), 1);
+}
+
+TEST(TaskGraph, IndependentStatementsHaveNoEdges) {
+  const DataCatalog catalog = SchedCatalog();
+  auto program = CompileScript("x = 1;\ny = 2;\nz = 3;\n", catalog);
+  ASSERT_TRUE(program.ok());
+  const TaskGraph graph = BuildTaskGraph(program->statements);
+  EXPECT_EQ(graph.EdgeCount(), 0);
+}
+
+TEST(TaskGraph, BarrierCommitSuppressesHazardsOfStagedWrites) {
+  const DataCatalog catalog = SchedCatalog();
+  auto program = CompileScript("x = 1;\ng = x + 1;\nx = g * 2;\n", catalog);
+  ASSERT_TRUE(program.ok());
+  // Treat the last two statements as a barrier-commit loop body: both see
+  // the start-of-iteration x, so no RAW from g's write to x's read and no
+  // WAR back from x's rewrite.
+  const std::vector<CompiledStmt> body(program->statements.begin() + 1,
+                                       program->statements.end());
+  const TaskGraph graph = BuildTaskGraph(body, /*barrier_commit=*/true);
+  ASSERT_EQ(graph.nodes.size(), 2u);
+  EXPECT_EQ(graph.EdgeCount(), 0);
+  EXPECT_EQ(graph.nodes[0].write_versions.at("g"), 0);
+  EXPECT_EQ(graph.nodes[1].read_versions.at("g"), 0);
+}
+
+TEST(TaskGraph, LoopsAggregateTheirBodyAccess) {
+  const DataCatalog catalog = SchedCatalog();
+  auto program = CompileScript(
+      "i = 0;\ns = 0;\nwhile (i < 3) {\n  i = i + 1;\n  s = s + 2;\n}\n"
+      "r = s + i;\n",
+      catalog);
+  ASSERT_TRUE(program.ok());
+  const TaskGraph graph = BuildTaskGraph(program->statements);
+  ASSERT_EQ(graph.nodes.size(), 4u);
+  const TaskNode& loop = graph.nodes[2];
+  EXPECT_EQ(loop.label, "loop");
+  EXPECT_NE(loop.FindDep(0, DepKind::kRaw), nullptr);
+  EXPECT_NE(loop.FindDep(1, DepKind::kRaw), nullptr);
+  const TaskNode& after = graph.nodes[3];
+  EXPECT_NE(after.FindDep(2, DepKind::kRaw), nullptr);
+  EXPECT_FALSE(after.DependsOn(0));  // i@loop-version comes from the loop
+}
+
+TEST(TaskGraph, DynamicRandLoopOrdersLaterRandUsers) {
+  const DataCatalog catalog = SchedCatalog();
+  auto program = CompileScript(
+      "i = 0;\nwhile (i < 2) {\n  i = i + 1;\n  X = rand(2, 2);\n}\n"
+      "Y = rand(2, 2);\n",
+      catalog);
+  ASSERT_TRUE(program.ok());
+  const TaskGraph graph = BuildTaskGraph(program->statements);
+  ASSERT_EQ(graph.nodes.size(), 3u);
+  const TaskNode& loop = graph.nodes[1];
+  EXPECT_TRUE(loop.dynamic_rand);
+  EXPECT_GT(loop.rand_count, 0);
+  const TaskNode& after = graph.nodes[2];
+  EXPECT_EQ(after.rand_count, 1);
+  EXPECT_NE(after.FindDep(1, DepKind::kRandOrder), nullptr);
+}
+
+TEST(TaskGraph, StaticRandUsersNeedNoOrderingEdges) {
+  const DataCatalog catalog = SchedCatalog();
+  auto program = CompileScript("A = rand(4, 4);\nB = rand(4, 4);\n", catalog);
+  ASSERT_TRUE(program.ok());
+  const TaskGraph graph = BuildTaskGraph(program->statements);
+  // Straight-line rand consumption is statically known, so the two
+  // statements can run concurrently with re-based counters.
+  EXPECT_EQ(graph.EdgeCount(), 0);
+  EXPECT_EQ(graph.nodes[0].rand_count, 1);
+  EXPECT_FALSE(graph.nodes[0].dynamic_rand);
+}
+
+// ---------------------------------------------------------------------------
+// Makespan accounting
+
+TEST(SchedMakespan, ChainIsSerialEverywhere) {
+  const std::vector<std::vector<int>> deps = {{}, {0}, {1}};
+  const std::vector<double> costs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(ListScheduleMakespan(deps, costs, 1), 6.0);
+  EXPECT_DOUBLE_EQ(ListScheduleMakespan(deps, costs, 4), 6.0);
+  EXPECT_DOUBLE_EQ(CriticalPathSeconds(deps, costs), 6.0);
+}
+
+TEST(SchedMakespan, IndependentTasksSplitAcrossWorkers) {
+  const std::vector<std::vector<int>> deps = {{}, {}, {}, {}};
+  const std::vector<double> costs = {1.0, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(ListScheduleMakespan(deps, costs, 1), 4.0);
+  EXPECT_DOUBLE_EQ(ListScheduleMakespan(deps, costs, 2), 2.0);
+  EXPECT_DOUBLE_EQ(ListScheduleMakespan(deps, costs, 4), 1.0);
+  EXPECT_DOUBLE_EQ(CriticalPathSeconds(deps, costs), 1.0);
+}
+
+TEST(SchedMakespan, DiamondRespectsDependencies) {
+  // 0 -> {1, 2} -> 3
+  const std::vector<std::vector<int>> deps = {{}, {0}, {0}, {1, 2}};
+  const std::vector<double> costs = {1.0, 2.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(CriticalPathSeconds(deps, costs), 4.0);
+  EXPECT_DOUBLE_EQ(ListScheduleMakespan(deps, costs, 2), 4.0);
+  EXPECT_DOUBLE_EQ(ListScheduleMakespan(deps, costs, 1), 6.0);
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise determinism of the parallel executor
+
+void ExpectValueBitwise(const std::string& name, const RtValue& a,
+                        const RtValue& b) {
+  ASSERT_EQ(a.is_scalar, b.is_scalar) << name;
+  EXPECT_EQ(a.distributed, b.distributed) << name;
+  if (a.is_scalar) {
+    EXPECT_EQ(std::memcmp(&a.scalar, &b.scalar, sizeof(double)), 0)
+        << name << ": " << a.scalar << " vs " << b.scalar;
+    return;
+  }
+  ASSERT_EQ(a.matrix.rows(), b.matrix.rows()) << name;
+  ASSERT_EQ(a.matrix.cols(), b.matrix.cols()) << name;
+  for (int64_t r = 0; r < a.matrix.rows(); ++r) {
+    for (int64_t c = 0; c < a.matrix.cols(); ++c) {
+      const double va = a.matrix.At(r, c);
+      const double vb = b.matrix.At(r, c);
+      ASSERT_EQ(std::memcmp(&va, &vb, sizeof(double)), 0)
+          << name << " at (" << r << ", " << c << "): " << va << " vs "
+          << vb;
+    }
+  }
+}
+
+void ExpectEnvBitwise(const std::map<std::string, RtValue>& serial,
+                      const std::map<std::string, RtValue>& parallel) {
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (const auto& [name, value] : serial) {
+    auto it = parallel.find(name);
+    ASSERT_NE(it, parallel.end()) << name;
+    ExpectValueBitwise(name, value, it->second);
+  }
+}
+
+/// Runs `script` with the serial executor and the task-graph scheduler at
+/// several pool sizes, requiring bitwise-identical environments and sane
+/// makespan accounting.
+void CheckSchedulerDeterminism(const std::string& script) {
+  const DataCatalog catalog = SchedCatalog();
+  RunConfig config;
+  config.max_iterations = 3;
+  auto serial = RunScript(script, catalog, config);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (int threads : {1, 2, 8}) {
+    RunConfig parallel_config = config;
+    parallel_config.scheduler = SchedulerKind::kTaskGraph;
+    parallel_config.pool_threads = threads;
+    auto parallel = RunScript(script, catalog, parallel_config);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectEnvBitwise(serial->env, parallel->env);
+    const ScheduleReport& schedule = parallel->schedule;
+    EXPECT_TRUE(schedule.used);
+    EXPECT_EQ(schedule.pool_threads, threads);
+    EXPECT_GT(schedule.tasks, 0);
+    EXPECT_GT(schedule.serial_seconds, 0.0);
+    EXPECT_LE(schedule.makespan_seconds, schedule.serial_seconds);
+    EXPECT_GE(schedule.makespan_seconds, schedule.critical_path_seconds);
+    EXPECT_GT(schedule.critical_path_seconds, 0.0);
+    // Parallel DAG execution must book the same simulated cluster time
+    // as the serial pass (associativity noise aside).
+    const double serial_exec = serial->breakdown.computation_seconds +
+                               serial->breakdown.transmission_seconds;
+    const double parallel_exec = parallel->breakdown.computation_seconds +
+                                 parallel->breakdown.transmission_seconds;
+    EXPECT_NEAR(parallel_exec, serial_exec,
+                1e-9 * std::max(1.0, serial_exec));
+  }
+}
+
+TEST(SchedDeterminism, Dfp) { CheckSchedulerDeterminism(DfpScript("ds", 3)); }
+
+TEST(SchedDeterminism, Bfgs) {
+  CheckSchedulerDeterminism(BfgsScript("ds", 3));
+}
+
+TEST(SchedDeterminism, Gd) { CheckSchedulerDeterminism(GdScript("ds", 3)); }
+
+TEST(SchedDeterminism, GnmfWithRandInitialization) {
+  CheckSchedulerDeterminism(GnmfScript("ds", 4, 3));
+}
+
+TEST(SchedDeterminism, DynamicRandLoopKeepsTheStreamAligned) {
+  const DataCatalog catalog = SchedCatalog();
+  const std::string script =
+      "i = 0;\nS = rand(300, 4);\n"
+      "while (i < 3) {\n  i = i + 1;\n  S = S + rand(300, 4);\n}\n"
+      "T = rand(300, 4);\nU = S + T;\n";
+  auto program = CompileScript(script, catalog);
+  ASSERT_TRUE(program.ok());
+
+  Executor serial(ClusterModel(), &catalog, nullptr);
+  ASSERT_TRUE(serial.Run(program->statements, 10).ok());
+
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    TransmissionLedger ledger((ClusterModel()));
+    ParallelExecutor parallel(ClusterModel(), &catalog, &ledger, &pool);
+    ASSERT_TRUE(parallel.Run(program->statements, 10).ok());
+    ExpectEnvBitwise(serial.env(), parallel.env());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trace hooks
+
+TEST(SchedTrace, WritesChromeTraceJson) {
+  const DataCatalog catalog = SchedCatalog();
+  auto program =
+      CompileScript("A = read(\"ds\");\nB = t(A) %*% A;\nC = B + B;\n",
+                    catalog);
+  ASSERT_TRUE(program.ok());
+  ThreadPool pool(2);
+  TransmissionLedger ledger((ClusterModel()));
+  TraceSink trace;
+  ParallelExecutor executor(ClusterModel(), &catalog, &ledger, &pool);
+  executor.set_trace(&trace);
+  ASSERT_TRUE(executor.Run(program->statements).ok());
+  EXPECT_GE(trace.size(), 3u);
+
+  const std::string json = trace.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+
+  const std::string path = testing::TempDir() + "/remac_sched_trace.json";
+  ASSERT_TRUE(trace.WriteChromeJson(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char head[16] = {0};
+  const size_t got = std::fread(head, 1, sizeof(head) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_GT(got, 0u);
+  EXPECT_EQ(head[0], '{');
+}
+
+TEST(SchedTrace, ProgramRunnerWritesTraceFile) {
+  const DataCatalog catalog = SchedCatalog();
+  RunConfig config;
+  config.max_iterations = 2;
+  config.scheduler = SchedulerKind::kTaskGraph;
+  config.trace_path = testing::TempDir() + "/remac_runner_trace.json";
+  auto report = RunScript(DfpScript("ds", 2), catalog, config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->schedule.used);
+  std::FILE* f = std::fopen(config.trace_path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(config.trace_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Error propagation
+
+TEST(SchedErrors, UndefinedVariableFailsLikeTheSerialExecutor) {
+  const DataCatalog catalog = SchedCatalog();
+  auto program = CompileScript("x = 1;\ny = x + 1;\n", catalog);
+  ASSERT_TRUE(program.ok());
+  // Run only the second statement: x is undefined at runtime, which must
+  // surface as the same error on both execution paths.
+  const std::vector<CompiledStmt> tail(program->statements.begin() + 1,
+                                       program->statements.end());
+  ThreadPool pool(2);
+  TransmissionLedger ledger((ClusterModel()));
+  ParallelExecutor executor(ClusterModel(), &catalog, &ledger, &pool);
+  const Status status = executor.Run(tail);
+  EXPECT_FALSE(status.ok());
+
+  Executor serial(ClusterModel(), &catalog, nullptr);
+  const Status serial_status = serial.Run(tail);
+  EXPECT_FALSE(serial_status.ok());
+  EXPECT_EQ(status.code(), serial_status.code());
+}
+
+}  // namespace
+}  // namespace remac
