@@ -1,0 +1,245 @@
+// Plan-service throughput benchmark: repeated-script workloads served
+// from the fingerprinted plan cache.
+//
+//   bench_service [--quick] [--json] [--repeat=N] [--cache-size=N]
+//
+// Three measurements:
+//   1. cold vs warm latency on the repeated-DFP workload (the paper's
+//      optimizer-heavy script): the warm path must skip parse+optimize,
+//      so warm latency is essentially pure execution;
+//   2. a mixed four-script workload (GD/DFP/BFGS/GNMF) driven through
+//      concurrent sessions at 1/2/8 pool threads;
+//   3. the final cache counters.
+//
+// --json prints one machine-readable line per measurement and writes a
+// BENCH_service.json summary record for the perf trajectory.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "algorithms/scripts.h"
+#include "common/string_util.h"
+#include "data/generators.h"
+#include "matrix/kernels.h"
+#include "sched/thread_pool.h"
+#include "service/plan_service.h"
+
+namespace remac {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Options {
+  bool quick = false;
+  bool json = false;
+  int repeat = 16;
+  size_t cache_size = 64;
+};
+
+Options ParseArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      options.quick = true;
+      options.repeat = 8;
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (StartsWith(arg, "--repeat=")) {
+      options.repeat = std::atoi(arg.c_str() + 9);
+    } else if (StartsWith(arg, "--cache-size=")) {
+      options.cache_size = static_cast<size_t>(std::atoi(arg.c_str() + 13));
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s' (expected --quick, --json, "
+                   "--repeat=N, --cache-size=N)\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+    if (options.repeat <= 0 || options.cache_size == 0) {
+      std::fprintf(stderr, "--repeat/--cache-size must be positive\n");
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+/// Request template: execute one real loop iteration while the optimizer
+/// amortizes over the full horizon (the harness idiom — keeps wall time
+/// per request bounded by execution, not by the simulated loop).
+RunConfig ServiceConfig() {
+  RunConfig config;
+  config.max_iterations = 20;
+  config.executed_iterations = 1;
+  return config;
+}
+
+struct ThreadPoint {
+  int threads = 0;
+  int requests = 0;
+  double wall_seconds = 0.0;
+  double rps = 0.0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t single_flight_waits = 0;
+};
+
+}  // namespace
+
+int BenchServiceMain(int argc, char** argv) {
+  const Options options = ParseArgs(argc, argv);
+
+  DataCatalog catalog;
+  DatasetSpec spec;
+  spec.name = "svc";
+  spec.rows = options.quick ? 300 : 600;
+  spec.cols = 16;
+  spec.sparsity = 0.3;
+  spec.seed = 7;
+  if (Status st = RegisterDataset(&catalog, spec); !st.ok()) {
+    std::fprintf(stderr, "dataset error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("=== bench_service: plan-service throughput ===\n");
+
+  // --- 1. cold vs warm, repeated DFP -------------------------------
+  const std::string dfp = DfpScript("svc", 20);
+  ServiceOptions service_options;
+  service_options.cache_capacity = options.cache_size;
+  double cold_seconds = 0.0;
+  double warm_mean_seconds = 0.0;
+  {
+    PlanService service(&catalog, service_options);
+    ServiceRequest request{dfp, ServiceConfig()};
+    auto cold = service.Run(request);
+    if (!cold.ok()) {
+      std::fprintf(stderr, "error: %s\n", cold.status().ToString().c_str());
+      return 1;
+    }
+    cold_seconds = cold->timing.total_seconds;
+    double warm_total = 0.0;
+    for (int k = 0; k < options.repeat; ++k) {
+      auto warm = service.Run(request);
+      if (!warm.ok() || !warm->cache_hit) {
+        std::fprintf(stderr, "warm request %d missed the cache\n", k);
+        return 1;
+      }
+      warm_total += warm->timing.total_seconds;
+    }
+    warm_mean_seconds = warm_total / options.repeat;
+  }
+  const double speedup =
+      warm_mean_seconds > 0.0 ? cold_seconds / warm_mean_seconds : 0.0;
+  std::printf("repeated-DFP: cold %s, warm mean %s over %d repeats "
+              "(%.1fx speedup)\n",
+              HumanSeconds(cold_seconds).c_str(),
+              HumanSeconds(warm_mean_seconds).c_str(), options.repeat,
+              speedup);
+  if (options.json) {
+    std::printf("{\"bench\": \"service\", \"phase\": \"cold-warm\", "
+                "\"cold_seconds\": %.9g, \"warm_mean_seconds\": %.9g, "
+                "\"warm_speedup\": %.3f, \"repeat\": %d}\n",
+                cold_seconds, warm_mean_seconds, speedup, options.repeat);
+  }
+
+  // --- 2. mixed workload through concurrent sessions ----------------
+  const std::vector<std::string> scripts = {
+      GdScript("svc", 20), DfpScript("svc", 20), BfgsScript("svc", 20),
+      GnmfScript("svc", 4, 20)};
+  const std::vector<int> thread_counts =
+      options.quick ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 8};
+  const int total_requests = 4 * options.repeat;
+  std::vector<ThreadPoint> points;
+  for (const int threads : thread_counts) {
+    ThreadPool::SetGlobalThreads(threads);
+    PlanService service(&catalog, service_options);
+    PlanService::Session session = service.NewSession();
+    const auto start = Clock::now();
+    for (int k = 0; k < total_requests; ++k) {
+      session.Submit(
+          ServiceRequest{scripts[k % scripts.size()], ServiceConfig()});
+    }
+    const auto results = session.Wait();
+    ThreadPoint point;
+    point.threads = threads;
+    point.requests = total_requests;
+    point.wall_seconds = SecondsSince(start);
+    for (const auto& result : results) {
+      if (!result.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+    }
+    const ServiceStats stats = service.stats();
+    point.rps = point.requests / point.wall_seconds;
+    point.hits = stats.cache.hits;
+    point.misses = stats.cache.misses;
+    point.single_flight_waits = stats.single_flight_waits;
+    points.push_back(point);
+    std::printf("mixed x%-3d threads %d: %s wall, %.1f req/s, "
+                "%lld hits / %lld misses, %lld single-flight wait(s)\n",
+                point.requests, point.threads,
+                HumanSeconds(point.wall_seconds).c_str(), point.rps,
+                static_cast<long long>(point.hits),
+                static_cast<long long>(point.misses),
+                static_cast<long long>(point.single_flight_waits));
+    if (options.json) {
+      std::printf("{\"bench\": \"service\", \"phase\": \"mixed\", "
+                  "\"threads\": %d, \"requests\": %d, \"wall_seconds\": "
+                  "%.9g, \"rps\": %.3f, \"hits\": %lld, \"misses\": %lld, "
+                  "\"single_flight_waits\": %lld}\n",
+                  point.threads, point.requests, point.wall_seconds,
+                  point.rps, static_cast<long long>(point.hits),
+                  static_cast<long long>(point.misses),
+                  static_cast<long long>(point.single_flight_waits));
+    }
+  }
+  ThreadPool::SetGlobalThreads(0);
+
+  // --- 3. BENCH_service.json summary record -------------------------
+  if (options.json) {
+    FILE* out = std::fopen("BENCH_service.json", "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write BENCH_service.json\n");
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\"bench\": \"service\", \"workload\": \"repeated-dfp\", "
+                 "\"repeat\": %d, \"cache_capacity\": %zu, "
+                 "\"cold_seconds\": %.9g, \"warm_mean_seconds\": %.9g, "
+                 "\"warm_speedup\": %.3f, \"threads\": [",
+                 options.repeat, options.cache_size, cold_seconds,
+                 warm_mean_seconds, speedup);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const ThreadPoint& p = points[i];
+      std::fprintf(out,
+                   "%s{\"threads\": %d, \"requests\": %d, \"wall_seconds\": "
+                   "%.9g, \"rps\": %.3f, \"hits\": %lld, \"misses\": %lld, "
+                   "\"single_flight_waits\": %lld}",
+                   i > 0 ? ", " : "", p.threads, p.requests, p.wall_seconds,
+                   p.rps, static_cast<long long>(p.hits),
+                   static_cast<long long>(p.misses),
+                   static_cast<long long>(p.single_flight_waits));
+    }
+    std::fprintf(out, "]}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_service.json\n");
+  }
+  return 0;
+}
+
+}  // namespace remac
+
+int main(int argc, char** argv) {
+  return remac::BenchServiceMain(argc, argv);
+}

@@ -1,23 +1,36 @@
 #!/usr/bin/env bash
-# Concurrency check: build the ThreadSanitizer configuration and run the
-# scheduler and kernel tests under it. The task-graph executor, the shared
-# thread pool and the thread-safe ledger are the only concurrent parts of
-# the codebase, so this is the suite that must stay TSan-clean.
+# Concurrency check: build the ThreadSanitizer and AddressSanitizer
+# configurations and run the concurrent suites under them. The task-graph
+# executor, the shared thread pool, the thread-safe ledger and the plan
+# service (sharded cache + single-flight) are the concurrent parts of the
+# codebase, so these are the suites that must stay sanitizer-clean.
 #
-# Usage: scripts/check.sh [build-dir]   (default: build-tsan)
+# Usage: scripts/check.sh [tsan-build-dir] [asan-build-dir]
+#        (defaults: build-tsan build-asan)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build-tsan}"
-FILTER='ThreadPool.*:Ledger.*:TaskGraph.*:Sched*.*:Kernels*.*'
+TSAN_DIR="${1:-build-tsan}"
+ASAN_DIR="${2:-build-asan}"
+FILTER='ThreadPool.*:Ledger.*:TaskGraph.*:Sched*.*:Kernels*.*:Fingerprint*.*:PlanCache*.*:Service*.*'
 
-cmake -B "$BUILD_DIR" -S . -DREMAC_SANITIZE=thread \
+cmake -B "$TSAN_DIR" -S . -DREMAC_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j --target remac_tests
+cmake --build "$TSAN_DIR" -j --target remac_tests
 
-echo "== running scheduler/kernel tests under ThreadSanitizer =="
+echo "== running scheduler/kernel/service tests under ThreadSanitizer =="
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-  "$BUILD_DIR/tests/remac_tests" --gtest_filter="$FILTER"
+  "$TSAN_DIR/tests/remac_tests" --gtest_filter="$FILTER"
 
 echo "== TSan check passed =="
+
+cmake -B "$ASAN_DIR" -S . -DREMAC_SANITIZE=address \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$ASAN_DIR" -j --target remac_tests
+
+echo "== running scheduler/kernel/service tests under AddressSanitizer =="
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
+  "$ASAN_DIR/tests/remac_tests" --gtest_filter="$FILTER"
+
+echo "== ASan check passed =="

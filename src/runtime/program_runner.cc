@@ -84,31 +84,52 @@ Result<RunReport> RunInternal(const std::string& source,
   RunReport report;
   REMAC_ASSIGN_OR_RETURN(const CompiledProgram program,
                          CompileScript(source, catalog));
-  const std::unique_ptr<SparsityEstimator> estimator =
-      MakeEstimator(config.estimator, &catalog);
 
   const auto compile_start = std::chrono::steady_clock::now();
-  CompiledProgram optimized;
+  REMAC_ASSIGN_OR_RETURN(
+      CompiledProgram optimized,
+      OptimizeCompiled(program, catalog, config, &report.optimize));
+  report.compile_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    compile_start)
+          .count();
+  report.optimized_source = optimized.ToString();
+  report.optimized_program =
+      std::make_shared<const CompiledProgram>(std::move(optimized));
+
+  TransmissionLedger ledger(config.cluster);
+  ledger.AddCompilationSeconds(report.compile_wall_seconds);
+  if (execute) {
+    REMAC_RETURN_NOT_OK(ExecuteCompiled(*report.optimized_program, catalog,
+                                        config, &ledger, &report));
+  }
+  report.breakdown = ledger.Breakdown();
+  return report;
+}
+
+}  // namespace
+
+Result<CompiledProgram> OptimizeCompiled(const CompiledProgram& program,
+                                         const DataCatalog& catalog,
+                                         const RunConfig& config,
+                                         OptimizeReport* report) {
+  OptimizeReport local;
+  if (report == nullptr) report = &local;
+  const std::unique_ptr<SparsityEstimator> estimator =
+      MakeEstimator(config.estimator, &catalog);
   switch (config.optimizer) {
     case OptimizerKind::kAsWritten:
-      optimized = program;
-      break;
+      return program;
     case OptimizerKind::kSystemDs:
     case OptimizerKind::kSystemDsNoCse: {
       SystemDsConfig sds;
       sds.explicit_cse = config.optimizer == OptimizerKind::kSystemDs;
-      REMAC_ASSIGN_OR_RETURN(
-          optimized, SystemDsOptimize(program, config.cluster,
-                                      estimator.get(), &catalog, sds));
-      break;
+      return SystemDsOptimize(program, config.cluster, estimator.get(),
+                              &catalog, sds);
     }
-    case OptimizerKind::kSpores: {
-      REMAC_ASSIGN_OR_RETURN(
-          optimized, SporesOptimize(program, config.cluster, estimator.get(),
-                                    &catalog, SporesConfig{},
-                                    &report.optimize));
-      break;
-    }
+    case OptimizerKind::kSpores:
+      return SporesOptimize(program, config.cluster, estimator.get(),
+                            &catalog, SporesConfig{}, report);
     default: {
       OptimizerConfig opt;
       opt.iterations = config.max_iterations;
@@ -120,55 +141,43 @@ Result<RunReport> RunInternal(const std::string& source,
       opt.forced_option_keys = config.forced_option_keys;
       ReMacOptimizer optimizer(config.cluster, estimator.get(), &catalog,
                                opt);
-      REMAC_ASSIGN_OR_RETURN(optimized,
-                             optimizer.Optimize(program, &report.optimize));
-      break;
+      return optimizer.Optimize(program, report);
     }
   }
-  report.compile_wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    compile_start)
-          .count();
-  report.optimized_source = optimized.ToString();
-  report.optimized_program =
-      std::make_shared<const CompiledProgram>(optimized);
-
-  TransmissionLedger ledger(config.cluster);
-  ledger.AddCompilationSeconds(report.compile_wall_seconds);
-  if (execute) {
-    const int executed = config.executed_iterations > 0
-                             ? std::min(config.executed_iterations,
-                                        config.max_iterations)
-                             : config.max_iterations;
-    if (config.scheduler == SchedulerKind::kTaskGraph) {
-      if (config.pool_threads > 0) {
-        ThreadPool::SetGlobalThreads(config.pool_threads);
-      }
-      TraceSink trace;
-      ParallelExecutor executor(config.cluster, &catalog, &ledger,
-                                &ThreadPool::Global(),
-                                TraitsFor(config.engine));
-      executor.set_count_input_partition(config.count_input_partition);
-      if (!config.trace_path.empty()) executor.set_trace(&trace);
-      REMAC_RETURN_NOT_OK(executor.Run(optimized.statements, executed));
-      report.env = executor.env();
-      report.schedule = executor.schedule();
-      if (!config.trace_path.empty()) {
-        REMAC_RETURN_NOT_OK(trace.WriteChromeJson(config.trace_path));
-      }
-    } else {
-      Executor executor(config.cluster, &catalog, &ledger,
-                        TraitsFor(config.engine));
-      executor.set_count_input_partition(config.count_input_partition);
-      REMAC_RETURN_NOT_OK(executor.Run(optimized.statements, executed));
-      report.env = executor.env();
-    }
-  }
-  report.breakdown = ledger.Breakdown();
-  return report;
 }
 
-}  // namespace
+Status ExecuteCompiled(const CompiledProgram& optimized,
+                       const DataCatalog& catalog, const RunConfig& config,
+                       TransmissionLedger* ledger, RunReport* report) {
+  const int executed = config.executed_iterations > 0
+                           ? std::min(config.executed_iterations,
+                                      config.max_iterations)
+                           : config.max_iterations;
+  if (config.scheduler == SchedulerKind::kTaskGraph) {
+    if (config.pool_threads > 0) {
+      ThreadPool::SetGlobalThreads(config.pool_threads);
+    }
+    TraceSink trace;
+    ParallelExecutor executor(config.cluster, &catalog, ledger,
+                              &ThreadPool::Global(),
+                              TraitsFor(config.engine));
+    executor.set_count_input_partition(config.count_input_partition);
+    if (!config.trace_path.empty()) executor.set_trace(&trace);
+    REMAC_RETURN_NOT_OK(executor.Run(optimized.statements, executed));
+    report->env = executor.env();
+    report->schedule = executor.schedule();
+    if (!config.trace_path.empty()) {
+      REMAC_RETURN_NOT_OK(trace.WriteChromeJson(config.trace_path));
+    }
+  } else {
+    Executor executor(config.cluster, &catalog, ledger,
+                      TraitsFor(config.engine));
+    executor.set_count_input_partition(config.count_input_partition);
+    REMAC_RETURN_NOT_OK(executor.Run(optimized.statements, executed));
+    report->env = executor.env();
+  }
+  return Status::OK();
+}
 
 Result<RunReport> RunScript(const std::string& source,
                             const DataCatalog& catalog,

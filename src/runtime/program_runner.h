@@ -104,6 +104,24 @@ Result<RunReport> RunScript(const std::string& source,
                             const DataCatalog& catalog,
                             const RunConfig& config);
 
+/// Runs just the optimizer stage of RunScript on an already-compiled
+/// program: the switch over OptimizerKind, including estimator
+/// construction. `report` may be null. The plan service calls this once
+/// per cache miss and replays the result on hits.
+Result<CompiledProgram> OptimizeCompiled(const CompiledProgram& program,
+                                         const DataCatalog& catalog,
+                                         const RunConfig& config,
+                                         OptimizeReport* report);
+
+/// Executes an already-optimized program on the configured backend
+/// (serial or task-graph), booking simulated costs into `ledger` and
+/// filling `report->env` (plus `report->schedule` for the task-graph
+/// path). Does not touch `report->breakdown`; callers snapshot the
+/// ledger afterwards.
+Status ExecuteCompiled(const CompiledProgram& optimized,
+                       const DataCatalog& catalog, const RunConfig& config,
+                       TransmissionLedger* ledger, RunReport* report);
+
 /// Compile-only variant (used by compilation-time experiments).
 Result<RunReport> CompileOnly(const std::string& source,
                               const DataCatalog& catalog,

@@ -54,6 +54,12 @@ void ThreadPool::Submit(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(queues_[target]->mu);
     queues_[target]->items.push_back(std::move(fn));
+    const auto depth = static_cast<int64_t>(queues_[target]->items.size());
+    int64_t peak = peak_queue_depth_.load(std::memory_order_relaxed);
+    while (depth > peak &&
+           !peak_queue_depth_.compare_exchange_weak(
+               peak, depth, std::memory_order_relaxed)) {
+    }
   }
   pending_.fetch_add(1, std::memory_order_release);
   {
@@ -78,6 +84,7 @@ bool ThreadPool::PopTask(int preferred, std::function<void()>* out) {
       // Steal from the back to reduce contention with the owner.
       *out = std::move(queue.items.back());
       queue.items.pop_back();
+      steals_.fetch_add(1, std::memory_order_relaxed);
     }
     pending_.fetch_sub(1, std::memory_order_acq_rel);
     return true;
@@ -153,6 +160,16 @@ void ThreadPool::RunAndWait(std::vector<std::function<void()>> tasks) {
                        [&] { return latch->remaining == 0; });
     if (latch->remaining == 0) return;
   }
+}
+
+PoolStats ThreadPool::stats() const {
+  PoolStats stats;
+  stats.threads = size();
+  stats.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  stats.steals = steals_.load(std::memory_order_relaxed);
+  stats.peak_queue_depth =
+      peak_queue_depth_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 int ThreadPool::CurrentWorkerId() { return tl_worker_id; }

@@ -13,6 +13,18 @@
 
 namespace remac {
 
+/// Lightweight pool counters for stats reports (plan service, benches).
+/// All monotonically increasing since pool construction; reads are
+/// relaxed snapshots.
+struct PoolStats {
+  int threads = 0;
+  int64_t tasks_executed = 0;
+  /// Tasks a worker popped from a sibling's deque.
+  int64_t steals = 0;
+  /// Deepest any single worker deque has been at submission time.
+  int64_t peak_queue_depth = 0;
+};
+
 /// \brief Persistent work-stealing thread pool.
 ///
 /// Each worker owns a deque: Submit distributes tasks round-robin across
@@ -66,6 +78,9 @@ class ThreadPool {
     return tasks_executed_.load(std::memory_order_relaxed);
   }
 
+  /// Counter snapshot (tasks executed, steals, peak queue depth).
+  PoolStats stats() const;
+
  private:
   struct Queue {
     std::mutex mu;
@@ -85,6 +100,8 @@ class ThreadPool {
   std::atomic<uint64_t> next_queue_{0};
   std::atomic<int64_t> pending_{0};
   std::atomic<int64_t> tasks_executed_{0};
+  std::atomic<int64_t> steals_{0};
+  std::atomic<int64_t> peak_queue_depth_{0};
 };
 
 }  // namespace remac

@@ -1,0 +1,122 @@
+#include "service/plan_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace remac {
+
+PlanCache::PlanCache(size_t capacity, int shards)
+    : capacity_(std::max<size_t>(capacity, 1)) {
+  const size_t n = std::clamp<size_t>(shards <= 0 ? 1 : shards, 1, capacity_);
+  shards_.reserve(n);
+  const size_t base = capacity_ / n;
+  const size_t rem = capacity_ % n;
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (i < rem ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+PlanCache::Shard& PlanCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::Get(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->plan;
+}
+
+void PlanCache::EvictLocked(Shard* shard) {
+  while (shard->lru.size() > shard->capacity) {
+    // Sample the tail (up to 3 LRU entries) and drop the cheapest to
+    // rebuild — cost-aware LRU.
+    auto victim = std::prev(shard->lru.end());
+    auto candidate = victim;
+    for (int probe = 1; probe < 3; ++probe) {
+      if (candidate == shard->lru.begin()) break;
+      candidate = std::prev(candidate);
+      // Never consider the MRU entry — it is the one just inserted.
+      if (candidate == shard->lru.begin()) break;
+      if (candidate->plan->build_wall_seconds <
+          victim->plan->build_wall_seconds) {
+        victim = candidate;
+      }
+    }
+    shard->index.erase(victim->key);
+    shard->lru.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void PlanCache::Put(const std::string& key,
+                    std::shared_ptr<const CachedPlan> plan) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->plan = std::move(plan);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(plan)});
+  shard.index[key] = shard.lru.begin();
+  EvictLocked(&shard);
+}
+
+bool PlanCache::Erase(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return false;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+  return true;
+}
+
+int PlanCache::ErasePlansForProgram(uint64_t program_hash) {
+  int dropped = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->plan->program_hash == program_hash) {
+        shard->index.erase(it->key);
+        it = shard->lru.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+  return dropped;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  stats.entries = static_cast<int64_t>(size());
+  return stats;
+}
+
+size_t PlanCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace remac

@@ -1,0 +1,108 @@
+#ifndef REMAC_SERVICE_PLAN_CACHE_H_
+#define REMAC_SERVICE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/adaptive_optimizer.h"
+#include "plan/plan_builder.h"
+
+namespace remac {
+
+/// \brief An optimized program held by the plan cache.
+///
+/// Immutable once inserted; requests execute the shared CompiledProgram
+/// directly (plan trees are never mutated by execution), so a hit costs
+/// one shared_ptr copy.
+struct CachedPlan {
+  std::shared_ptr<const CompiledProgram> program;
+  std::string optimized_source;
+  OptimizeReport optimize;
+  /// Wall seconds spent producing this entry (parse + optimize). The
+  /// eviction weight: expensive-to-rebuild entries are sticky.
+  double build_wall_seconds = 0.0;
+  /// Canonical fingerprint hash of the source program (see
+  /// program_fingerprint.h); invalidation drops all buckets of a program.
+  uint64_t program_hash = 0;
+  /// The input-metadata bucket this plan was optimized for.
+  std::string metadata_key;
+};
+
+struct PlanCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  /// Entries dropped by ErasePlansForProgram (metadata left the bucket).
+  int64_t invalidations = 0;
+  int64_t entries = 0;
+};
+
+/// \brief Sharded, thread-safe LRU cache of optimized programs.
+///
+/// Keys are opaque strings (the service combines program fingerprint,
+/// input-metadata bucket and optimizer-config digest). Eviction is
+/// cost-aware: when a shard overflows, the cheapest-to-rebuild entry
+/// among the few least-recently-used ones is dropped, so a plan that
+/// took seconds to optimize is not displaced by one that took
+/// microseconds just because it is marginally older.
+class PlanCache {
+ public:
+  /// `capacity` is the total entry budget across shards (min 1). The
+  /// shard count is clamped to [1, capacity] so tiny caches still
+  /// enforce their capacity exactly.
+  explicit PlanCache(size_t capacity, int shards = 8);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the entry (promoting it to most-recent) or null. Counts a
+  /// hit or a miss.
+  std::shared_ptr<const CachedPlan> Get(const std::string& key);
+
+  /// Inserts or replaces; evicts while the shard is over budget.
+  void Put(const std::string& key, std::shared_ptr<const CachedPlan> plan);
+
+  /// Drops one key; true if it was present. Not counted as an eviction.
+  bool Erase(const std::string& key);
+
+  /// Drops every entry of `program_hash` (explicit invalidation when the
+  /// input metadata leaves its bucket). Returns the number dropped.
+  int ErasePlansForProgram(uint64_t program_hash);
+
+  PlanCacheStats stats() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const CachedPlan> plan;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    size_t capacity = 1;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  /// Evicts from `shard` (locked by the caller) until within budget.
+  void EvictLocked(Shard* shard);
+
+  size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::atomic<int64_t> hits_{0};
+  mutable std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> invalidations_{0};
+};
+
+}  // namespace remac
+
+#endif  // REMAC_SERVICE_PLAN_CACHE_H_

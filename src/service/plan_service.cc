@@ -1,0 +1,278 @@
+#include "service/plan_service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/string_util.h"
+#include "lang/parser.h"
+
+namespace remac {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// fetch_add for atomic<double> (pre-C++20-style CAS loop, matching the
+/// parallel executor's accumulator idiom).
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::string PlanConfigDigest(const RunConfig& config) {
+  std::string digest = StringFormat(
+      "o%d,e%d,g%d,c%d,s%d,i%d,tb%lld,eb%lld,w%d,f%.6g,l%.6g,m%lld,bs%lld",
+      static_cast<int>(config.optimizer), static_cast<int>(config.estimator),
+      static_cast<int>(config.engine), static_cast<int>(config.combiner),
+      static_cast<int>(config.search), config.max_iterations,
+      static_cast<long long>(config.treewise_budget),
+      static_cast<long long>(config.enum_budget),
+      config.cluster.num_workers, config.cluster.flops_per_sec,
+      config.cluster.local_flops_per_sec,
+      static_cast<long long>(config.cluster.driver_memory_bytes),
+      static_cast<long long>(config.cluster.block_size));
+  for (const std::string& key : config.forced_option_keys) {
+    digest += '+';
+    digest += key;
+  }
+  return digest;
+}
+
+PlanService::PlanService(const DataCatalog* catalog, ServiceOptions options)
+    : catalog_(catalog),
+      options_(options),
+      cache_(options.cache_capacity, options.cache_shards) {}
+
+Result<std::shared_ptr<const CachedPlan>> PlanService::BuildPlan(
+    const ServiceRequest& request, uint64_t program_hash,
+    const std::string& metadata_key, RequestTiming* timing) {
+  const auto parse_start = Clock::now();
+  REMAC_ASSIGN_OR_RETURN(CompiledProgram compiled,
+                         CompileScript(request.source, *catalog_));
+  const auto optimize_start = Clock::now();
+  timing->parse_seconds +=
+      std::chrono::duration<double>(optimize_start - parse_start).count();
+  optimizer_invocations_.fetch_add(1, std::memory_order_relaxed);
+  CachedPlan plan;
+  REMAC_ASSIGN_OR_RETURN(
+      CompiledProgram optimized,
+      OptimizeCompiled(compiled, *catalog_, request.config, &plan.optimize));
+  timing->optimize_seconds += SecondsSince(optimize_start);
+  plan.optimized_source = optimized.ToString();
+  plan.program = std::make_shared<const CompiledProgram>(std::move(optimized));
+  plan.build_wall_seconds = SecondsSince(parse_start);
+  plan.program_hash = program_hash;
+  plan.metadata_key = metadata_key;
+  return std::make_shared<const CachedPlan>(std::move(plan));
+}
+
+Result<ServiceReport> PlanService::Run(const ServiceRequest& request) {
+  const auto start = Clock::now();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  ServiceReport report;
+
+  // Identify the program: source-text fast path first, parse once on the
+  // first sighting of a script.
+  SourceAlias alias;
+  bool known = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = aliases_.find(request.source);
+    if (it != aliases_.end()) {
+      alias = it->second;
+      known = true;
+    }
+  }
+  if (!known) {
+    REMAC_ASSIGN_OR_RETURN(const ProgramFingerprint fp,
+                           FingerprintScript(request.source));
+    alias.program_hash = fp.hash;
+    alias.datasets = fp.datasets;
+    std::lock_guard<std::mutex> lock(mu_);
+    aliases_.emplace(request.source, alias);
+  }
+
+  REMAC_ASSIGN_OR_RETURN(const std::string metadata_key,
+                         InputMetadataKey(alias.datasets, *catalog_));
+
+  // Explicit invalidation: the same program seen with metadata outside
+  // its previous bucket drops every stale plan of that program.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string& last = last_metadata_[alias.program_hash];
+    if (!last.empty() && last != metadata_key) {
+      cache_.ErasePlansForProgram(alias.program_hash);
+    }
+    last = metadata_key;
+  }
+
+  report.cache_key =
+      StringFormat("%016llx|", static_cast<unsigned long long>(
+                                   alias.program_hash)) +
+      metadata_key + "|" + PlanConfigDigest(request.config);
+  report.timing.parse_seconds = SecondsSince(start);
+
+  std::shared_ptr<const CachedPlan> plan = cache_.Get(report.cache_key);
+  report.cache_hit = plan != nullptr;
+
+  if (plan == nullptr) {
+    // Single-flight: one thread optimizes a cold key, the rest wait.
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = flights_.find(report.cache_key);
+      if (it != flights_.end()) {
+        flight = it->second;
+      } else {
+        // A finishing flight publishes to the cache before removing
+        // itself, so a re-probe under this lock closes the window where
+        // a request misses the cache, then finds no flight either —
+        // without it the optimizer could run twice for one key.
+        plan = cache_.Get(report.cache_key);
+        if (plan != nullptr) {
+          report.cache_hit = true;
+        } else {
+          flight = std::make_shared<Flight>();
+          flights_.emplace(report.cache_key, flight);
+          leader = true;
+        }
+      }
+    }
+    if (leader) {
+      auto built = BuildPlan(request, alias.program_hash, metadata_key,
+                             &report.timing);
+      if (built.ok()) {
+        plan = std::move(built).value();
+        cache_.Put(report.cache_key, plan);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        flights_.erase(report.cache_key);
+      }
+      {
+        std::lock_guard<std::mutex> lock(flight->mu);
+        flight->done = true;
+        if (built.ok()) {
+          flight->plan = plan;
+        } else {
+          flight->status = built.status();
+        }
+      }
+      flight->cv.notify_all();
+      if (!built.ok()) return built.status();
+    } else if (flight != nullptr) {
+      single_flight_waits_.fetch_add(1, std::memory_order_relaxed);
+      report.shared_flight = true;
+      const auto wait_start = Clock::now();
+      if (ThreadPool::CurrentWorkerId() >= 0) {
+        // A pool task helps drain the pool while it waits, so a fleet of
+        // hammering sessions cannot starve the leader's nested work.
+        while (true) {
+          {
+            std::unique_lock<std::mutex> lock(flight->mu);
+            if (flight->done) break;
+          }
+          if (!ThreadPool::Global().TryRunOne()) {
+            std::unique_lock<std::mutex> lock(flight->mu);
+            flight->cv.wait_for(lock, std::chrono::milliseconds(1),
+                                [&] { return flight->done; });
+            if (flight->done) break;
+          }
+        }
+      } else {
+        std::unique_lock<std::mutex> lock(flight->mu);
+        flight->cv.wait(lock, [&] { return flight->done; });
+      }
+      report.timing.optimize_seconds += SecondsSince(wait_start);
+      {
+        std::lock_guard<std::mutex> lock(flight->mu);
+        if (!flight->status.ok()) return flight->status;
+        plan = flight->plan;
+      }
+    }
+  }
+
+  // Execute the (shared, immutable) plan for this request.
+  report.run.optimize = plan->optimize;
+  report.run.optimized_source = plan->optimized_source;
+  report.run.optimized_program = plan->program;
+  report.run.compile_wall_seconds =
+      report.timing.parse_seconds + report.timing.optimize_seconds;
+  TransmissionLedger ledger(request.config.cluster);
+  ledger.AddCompilationSeconds(report.run.compile_wall_seconds);
+  if (request.config.execute) {
+    const auto execute_start = Clock::now();
+    REMAC_RETURN_NOT_OK(ExecuteCompiled(*plan->program, *catalog_,
+                                        request.config, &ledger,
+                                        &report.run));
+    report.timing.execute_seconds = SecondsSince(execute_start);
+  }
+  report.run.breakdown = ledger.Breakdown();
+  report.timing.total_seconds = SecondsSince(start);
+
+  if (report.cache_hit) {
+    warm_requests_.fetch_add(1, std::memory_order_relaxed);
+    AtomicAdd(&warm_seconds_, report.timing.total_seconds);
+  } else {
+    cold_requests_.fetch_add(1, std::memory_order_relaxed);
+    AtomicAdd(&cold_seconds_, report.timing.total_seconds);
+  }
+  return report;
+}
+
+ServiceStats PlanService::stats() const {
+  ServiceStats stats;
+  stats.cache = cache_.stats();
+  stats.pool = ThreadPool::Global().stats();
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.optimizer_invocations =
+      optimizer_invocations_.load(std::memory_order_relaxed);
+  stats.single_flight_waits =
+      single_flight_waits_.load(std::memory_order_relaxed);
+  stats.warm_requests = warm_requests_.load(std::memory_order_relaxed);
+  stats.cold_requests = cold_requests_.load(std::memory_order_relaxed);
+  stats.warm_seconds = warm_seconds_.load(std::memory_order_relaxed);
+  stats.cold_seconds = cold_seconds_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void PlanService::Session::Submit(ServiceRequest request) {
+  auto task = std::make_shared<std::packaged_task<Result<ServiceReport>()>>(
+      [service = service_, request = std::move(request)] {
+        return service->Run(request);
+      });
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(task->get_future());
+  }
+  ThreadPool::Global().Submit([task] { (*task)(); });
+}
+
+std::vector<Result<ServiceReport>> PlanService::Session::Wait() {
+  std::vector<std::future<Result<ServiceReport>>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending.swap(pending_);
+  }
+  std::vector<Result<ServiceReport>> results;
+  results.reserve(pending.size());
+  for (auto& future : pending) results.push_back(future.get());
+  return results;
+}
+
+size_t PlanService::Session::submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace remac

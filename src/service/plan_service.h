@@ -1,0 +1,174 @@
+#ifndef REMAC_SERVICE_PLAN_SERVICE_H_
+#define REMAC_SERVICE_PLAN_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/program_runner.h"
+#include "sched/thread_pool.h"
+#include "service/plan_cache.h"
+#include "service/program_fingerprint.h"
+
+namespace remac {
+
+/// One optimize-and-execute request: a script plus the run configuration
+/// (optimizer, estimator, engine, scheduler...). Anything that changes
+/// the emitted plan is folded into the cache key; the execution-only
+/// knobs (scheduler, executed_iterations, trace) are not.
+struct ServiceRequest {
+  std::string source;
+  RunConfig config;
+};
+
+/// Per-request wall-clock split. On a warm hit parse covers only the
+/// source-text lookup and metadata check, and optimize is exactly zero —
+/// the acceptance signal that the cached path skips the compiler.
+struct RequestTiming {
+  double parse_seconds = 0.0;
+  double optimize_seconds = 0.0;
+  double execute_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+struct ServiceReport {
+  RunReport run;
+  /// The plan came straight from the cache (no optimizer work at all).
+  bool cache_hit = false;
+  /// A concurrent request on the same key was already optimizing; this
+  /// one blocked on its result instead of duplicating the work.
+  bool shared_flight = false;
+  std::string cache_key;
+  RequestTiming timing;
+};
+
+struct ServiceStats {
+  PlanCacheStats cache;
+  PoolStats pool;
+  int64_t requests = 0;
+  /// Times the optimizer actually ran (single-flight: once per cold key).
+  int64_t optimizer_invocations = 0;
+  int64_t single_flight_waits = 0;
+  int64_t warm_requests = 0;  // served from cache
+  int64_t cold_requests = 0;  // optimized (or waited on an optimize)
+  double warm_seconds = 0.0;  // summed request latency, warm
+  double cold_seconds = 0.0;  // summed request latency, cold
+};
+
+struct ServiceOptions {
+  size_t cache_capacity = 64;
+  int cache_shards = 8;
+};
+
+/// \brief Long-lived optimize-and-execute front end with a plan cache.
+///
+/// Thread-safe: any number of threads (or pool tasks via Session) may
+/// call Run concurrently. The flow per request:
+///
+///   source text ──fast path──> known fingerprint        (no parse)
+///        │ first sighting: parse + alpha-renamed AST hash
+///        ▼
+///   fingerprint + input-metadata bucket + config digest = cache key
+///        ▼
+///   cache hit? ── yes ──> execute the shared plan        (no optimize)
+///        │ no
+///        ▼
+///   single-flight: first thread optimizes, concurrent requests on the
+///   same key block on its result; the plan lands in the LRU cache.
+///
+/// When a program's input metadata leaves its previous bucket (dims or
+/// sparsity bucket changed under the same catalog names), every cached
+/// plan of that program is explicitly invalidated before the miss is
+/// processed, so stale plans cannot linger at old keys.
+class PlanService {
+ public:
+  explicit PlanService(const DataCatalog* catalog,
+                       ServiceOptions options = {});
+
+  PlanService(const PlanService&) = delete;
+  PlanService& operator=(const PlanService&) = delete;
+
+  /// Serves one request on the calling thread.
+  Result<ServiceReport> Run(const ServiceRequest& request);
+
+  ServiceStats stats() const;
+  PlanCache& cache() { return cache_; }
+  const DataCatalog& catalog() const { return *catalog_; }
+
+  /// \brief A client session: submits requests onto the shared thread
+  /// pool and collects the results in submission order.
+  class Session {
+   public:
+    explicit Session(PlanService* service) : service_(service) {}
+
+    /// Enqueues the request on ThreadPool::Global().
+    void Submit(ServiceRequest request);
+
+    /// Blocks until every submitted request finished; returns reports in
+    /// submission order and resets the session.
+    std::vector<Result<ServiceReport>> Wait();
+
+    size_t submitted() const;
+
+   private:
+    PlanService* service_;
+    mutable std::mutex mu_;
+    std::vector<std::future<Result<ServiceReport>>> pending_;
+  };
+
+  Session NewSession() { return Session(this); }
+
+ private:
+  /// A cold key being optimized; concurrent requests wait on `cv`.
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status = Status::OK();
+    std::shared_ptr<const CachedPlan> plan;
+  };
+  /// What the source-text fast path remembers about a script: its
+  /// canonical identity, so repeat requests skip the parser entirely.
+  struct SourceAlias {
+    uint64_t program_hash = 0;
+    std::vector<std::string> datasets;
+  };
+
+  /// Builds (parse if needed + optimize) the plan for a cold key.
+  Result<std::shared_ptr<const CachedPlan>> BuildPlan(
+      const ServiceRequest& request, uint64_t program_hash,
+      const std::string& metadata_key, RequestTiming* timing);
+
+  const DataCatalog* catalog_;
+  ServiceOptions options_;
+  PlanCache cache_;
+
+  mutable std::mutex mu_;  // aliases_, last_metadata_, flights_
+  std::unordered_map<std::string, SourceAlias> aliases_;
+  std::unordered_map<uint64_t, std::string> last_metadata_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> optimizer_invocations_{0};
+  std::atomic<int64_t> single_flight_waits_{0};
+  std::atomic<int64_t> warm_requests_{0};
+  std::atomic<int64_t> cold_requests_{0};
+  std::atomic<double> warm_seconds_{0.0};
+  std::atomic<double> cold_seconds_{0.0};
+};
+
+/// Digest of the plan-affecting RunConfig fields (optimizer, estimator,
+/// engine, combiner, search, iteration horizon, budgets, forced option
+/// keys). Exposed for tests.
+std::string PlanConfigDigest(const RunConfig& config);
+
+}  // namespace remac
+
+#endif  // REMAC_SERVICE_PLAN_SERVICE_H_

@@ -1,0 +1,68 @@
+#ifndef REMAC_SERVICE_PROGRAM_FINGERPRINT_H_
+#define REMAC_SERVICE_PROGRAM_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "lang/ast.h"
+#include "plan/plan_builder.h"
+
+namespace remac {
+
+/// \brief Canonical identity of a parsed program.
+///
+/// Two scripts that differ only in variable naming (or whitespace,
+/// comments, parenthesization noise) produce the same fingerprint:
+/// identifiers are alpha-renamed to `$0, $1, ...` in order of first
+/// appearance, the AST is re-rendered fully parenthesized, and the
+/// canonical text is hashed (FNV-1a 64). Builtin call names, numeric
+/// literals and string literals — including the read("...") dataset
+/// names, which bind the plan to concrete catalog entries — are kept
+/// verbatim.
+struct ProgramFingerprint {
+  uint64_t hash = 0;
+  /// The alpha-renamed rendering the hash is computed over (debugging,
+  /// collision checks in tests).
+  std::string canonical;
+  /// read("...") dataset names in first-use order (duplicates removed);
+  /// the service combines their catalog metadata into the cache key.
+  std::vector<std::string> datasets;
+};
+
+/// Fingerprints an already-parsed program.
+ProgramFingerprint FingerprintProgram(const Program& program);
+
+/// Parses `source` and fingerprints it.
+Result<ProgramFingerprint> FingerprintScript(std::string_view source);
+
+/// \brief Buckets a sparsity value so "close enough" inputs share a plan.
+///
+/// The cost model's decisions are scale-sensitive, not point-sensitive:
+/// a plan chosen for sparsity 0.012 is equally right at 0.015. Buckets
+/// are half-decades of log10(sparsity), with two special cases pinned to
+/// the cost model's own discontinuities: everything above the dense
+/// format threshold (0.4, matrix/matrix.h) is one "dense regime" bucket
+/// 0, and (near-)empty matrices get their own sentinel bucket.
+int SparsityBucket(double sparsity);
+
+/// \brief Metadata key of a program's inputs against a catalog.
+///
+/// One `name=rowsxcols,sq|rc,b<bucket>` fragment per dataset: exact
+/// dimensions, a square/rectangular flag (the shape class symmetry the
+/// rewriter keys on), and the bucketed sparsity. Plans are reusable
+/// while every input stays in its bucket; any fragment changing moves
+/// the request to a different cache key. Errors if a dataset is missing
+/// from the catalog.
+Result<std::string> InputMetadataKey(const std::vector<std::string>& datasets,
+                                     const DataCatalog& catalog);
+
+/// FNV-1a 64-bit over arbitrary bytes (exposed for the service's
+/// source-text fast path).
+uint64_t Fnv1a64(std::string_view bytes);
+
+}  // namespace remac
+
+#endif  // REMAC_SERVICE_PROGRAM_FINGERPRINT_H_

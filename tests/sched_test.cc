@@ -101,6 +101,31 @@ TEST(ThreadPool, CurrentWorkerIdIsMinusOneOutsideThePool) {
   EXPECT_EQ(ThreadPool::CurrentWorkerId(), -1);
 }
 
+TEST(ThreadPool, StatsCountExecutionsStealsAndQueueDepth) {
+  ThreadPool pool(2);
+  // Park one worker on a gate. Submit round-robins across the two
+  // deques, so the parked worker's share can only run via steals, and
+  // its deque visibly backs up at submission time.
+  std::atomic<bool> release{false};
+  std::atomic<int> done{0};
+  pool.Submit([&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  constexpr int kTasks = 32;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  while (done.load() < kTasks) std::this_thread::yield();
+  release.store(true);
+  while (pool.tasks_executed() < kTasks + 1) std::this_thread::yield();
+
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.threads, 2);
+  EXPECT_GE(stats.tasks_executed, kTasks + 1);
+  EXPECT_GE(stats.steals, 1);
+  EXPECT_GE(stats.peak_queue_depth, 2);
+}
+
 // ---------------------------------------------------------------------------
 // TransmissionLedger thread safety (satellite: contention test)
 

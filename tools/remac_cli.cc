@@ -1,11 +1,13 @@
 // remac — command-line front end.
 //
 //   remac run SCRIPT.dml [options]     compile + execute a script
+//   remac serve SCRIPT.dml [options]   repeated requests through the
+//                                      plan service (fingerprinted cache)
 //   remac compile SCRIPT.dml [options] compile only, print the plan
 //   remac datasets                     list the built-in paper datasets
 //   remac gen NAME OUT.mtx             generate a paper dataset to a file
 //
-// Options for run/compile:
+// Options for run/serve/compile:
 //   --data NAME=PATH.mtx     load a MatrixMarket file as dataset NAME
 //   --dataset NAME[:ALIAS]   generate the built-in paper dataset NAME
 //                            (cri1..red3, zipf-<e>); registers it (and the
@@ -20,6 +22,10 @@
 //   --print-plan             print the optimized program
 //   --dot PATH.dot           write the optimized program as Graphviz DOT
 //   --print VAR              print a result variable (matrix summaries)
+//   --repeat N               run the script N times through the plan
+//                            service (run: opt-in; serve default 8)
+//   --cache-size N           plan-cache capacity in entries (default 64)
+//   --threads N              thread count for the shared pool
 
 #include <cstdio>
 #include <cstring>
@@ -34,16 +40,18 @@
 #include "matrix/kernels.h"
 #include "plan/plan_dot.h"
 #include "runtime/program_runner.h"
+#include "sched/thread_pool.h"
+#include "service/plan_service.h"
 
 namespace remac {
 namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: remac run|compile SCRIPT.dml [--data NAME=PATH] "
+               "usage: remac run|serve|compile SCRIPT.dml [--data NAME=PATH] "
                "[--dataset NAME] [--optimizer KIND] [--estimator KIND] "
                "[--engine KIND] [--iterations N] [--print-plan] "
-               "[--print VAR]\n"
+               "[--print VAR] [--repeat N] [--cache-size N] [--threads N]\n"
                "       remac datasets\n"
                "       remac gen NAME OUT.mtx\n");
   return 2;
@@ -157,7 +165,9 @@ int Main(int argc, char** argv) {
     return 0;
   }
 
-  if (command != "run" && command != "compile") return Usage();
+  if (command != "run" && command != "compile" && command != "serve") {
+    return Usage();
+  }
   if (argc < 3) return Usage();
   const std::string script_path = argv[2];
 
@@ -166,6 +176,8 @@ int Main(int argc, char** argv) {
   bool print_plan = false;
   std::string dot_path;
   std::vector<std::string> print_vars;
+  int repeat = command == "serve" ? 8 : 0;
+  size_t cache_size = 64;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -210,6 +222,34 @@ int Main(int argc, char** argv) {
       const char* value = next();
       if (value == nullptr) return Usage();
       config.max_iterations = std::atoi(value);
+    } else if (arg == "--repeat") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      repeat = std::atoi(value);
+      if (repeat <= 0) {
+        std::fprintf(stderr, "--repeat expects a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--cache-size") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      const int entries = std::atoi(value);
+      if (entries <= 0) {
+        std::fprintf(stderr, "--cache-size expects a positive integer\n");
+        return 2;
+      }
+      cache_size = static_cast<size_t>(entries);
+    } else if (arg == "--threads") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      const int threads = std::atoi(value);
+      if (threads <= 0) {
+        std::fprintf(stderr, "--threads expects a positive integer\n");
+        return 2;
+      }
+      SetKernelThreads(threads);
+      ThreadPool::SetGlobalThreads(threads);
+      config.pool_threads = threads;
     } else if (arg == "--print-plan") {
       print_plan = true;
     } else if (arg == "--dot") {
@@ -237,6 +277,91 @@ int Main(int argc, char** argv) {
   }
   std::ostringstream source;
   source << script_file.rdbuf();
+
+  if (repeat > 0 && command != "compile") {
+    // Serve mode: route every request through the plan service. The
+    // first request is cold (parse + optimize + execute); repeats hit
+    // the fingerprinted plan cache and skip straight to execution.
+    ServiceOptions options;
+    options.cache_capacity = cache_size;
+    PlanService service(&catalog, options);
+    ServiceRequest request{source.str(), config};
+    Result<ServiceReport> last = Status::Internal("no requests ran");
+    std::printf("serving %d request(s), cache capacity %zu\n", repeat,
+                cache_size);
+    for (int k = 0; k < repeat; ++k) {
+      last = service.Run(request);
+      if (!last.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     last.status().ToString().c_str());
+        return 1;
+      }
+      const ServiceReport& r = last.value();
+      std::printf(
+          "#%-3d %-4s parse %-9s optimize %-9s execute %-9s total %s\n",
+          k + 1, r.cache_hit ? "warm" : "cold",
+          HumanSeconds(r.timing.parse_seconds).c_str(),
+          HumanSeconds(r.timing.optimize_seconds).c_str(),
+          HumanSeconds(r.timing.execute_seconds).c_str(),
+          HumanSeconds(r.timing.total_seconds).c_str());
+    }
+
+    const ServiceStats stats = service.stats();
+    std::printf("--- cache stats ---\n");
+    std::printf(
+        "hits %lld  misses %lld  evictions %lld  invalidations %lld  "
+        "entries %lld/%zu\n",
+        static_cast<long long>(stats.cache.hits),
+        static_cast<long long>(stats.cache.misses),
+        static_cast<long long>(stats.cache.evictions),
+        static_cast<long long>(stats.cache.invalidations),
+        static_cast<long long>(stats.cache.entries), cache_size);
+    std::printf("optimizer invocations: %lld (of %lld requests)\n",
+                static_cast<long long>(stats.optimizer_invocations),
+                static_cast<long long>(stats.requests));
+    const double cold_mean =
+        stats.cold_requests > 0 ? stats.cold_seconds / stats.cold_requests
+                                : 0.0;
+    const double warm_mean =
+        stats.warm_requests > 0 ? stats.warm_seconds / stats.warm_requests
+                                : 0.0;
+    std::printf("cold: %lld request(s), mean %s\n",
+                static_cast<long long>(stats.cold_requests),
+                HumanSeconds(cold_mean).c_str());
+    std::printf("warm: %lld request(s), mean %s",
+                static_cast<long long>(stats.warm_requests),
+                HumanSeconds(warm_mean).c_str());
+    if (warm_mean > 0.0 && cold_mean > 0.0) {
+      std::printf("  (%.1fx speedup)", cold_mean / warm_mean);
+    }
+    std::printf("\n");
+    std::printf("pool: %d thread(s), %lld task(s), %lld steal(s), peak "
+                "queue depth %lld\n",
+                stats.pool.threads,
+                static_cast<long long>(stats.pool.tasks_executed),
+                static_cast<long long>(stats.pool.steals),
+                static_cast<long long>(stats.pool.peak_queue_depth));
+
+    const ServiceReport& r = last.value();
+    if (print_plan) {
+      std::printf("--- optimized program ---\n%s",
+                  r.run.optimized_source.c_str());
+    }
+    if (!dot_path.empty() && r.run.optimized_program != nullptr) {
+      std::ofstream dot_file(dot_path);
+      dot_file << ProgramToDot(*r.run.optimized_program);
+      std::printf("wrote %s\n", dot_path.c_str());
+    }
+    for (const std::string& var : print_vars) {
+      auto it = r.run.env.find(var);
+      if (it == r.run.env.end()) {
+        std::fprintf(stderr, "no variable '%s'\n", var.c_str());
+        continue;
+      }
+      PrintValue(var, it->second);
+    }
+    return 0;
+  }
 
   auto run = command == "run"
                  ? RunScript(source.str(), catalog, config)
