@@ -1,0 +1,45 @@
+// Smoke benchmark: one small DFP measurement, primarily for the
+// `bench-smoke` gate in scripts/check.sh. Run with --json and the final
+// line carries the full metrics-registry block, which
+// tools/validate_metrics.py checks against tools/metrics_manifest.txt.
+
+#include <cstdio>
+
+#include "algorithms/scripts.h"
+#include "bench/harness.h"
+
+using namespace remac;
+using namespace remac::bench;
+
+int main(int argc, char** argv) {
+  ParseBenchArgs(argc, argv);
+  Banner("Smoke", "one quick DFP measurement to exercise the telemetry path");
+  DatasetSpec spec;
+  spec.name = "smoke";
+  spec.rows = 2000;
+  spec.cols = 64;
+  spec.sparsity = 0.2;
+  spec.zipf_rows = 1.1;
+  spec.zipf_cols = 1.1;
+  spec.seed = 7;
+  if (!SharedCatalog().Contains("smoke")) {
+    const Status st = RegisterDataset(&SharedCatalog(), spec);
+    if (!st.ok()) {
+      std::printf("dataset error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  const int iterations = 10;
+  const std::string script = DfpScript("smoke", iterations);
+  RunConfig config;
+  config.optimizer = OptimizerKind::kRemacAdaptive;
+  auto m = MeasureScript(script, config, iterations, "smoke-dfp-adaptive");
+  if (!m.ok()) {
+    std::printf("ERROR %s\n", m.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-22s %12s %12s\n", "dfp (adaptive)",
+              Fmt(m->execution_seconds).c_str(),
+              Fmt(m->elapsed_seconds).c_str());
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include "common/string_util.h"
 #include "data/generators.h"
 #include "matrix/kernels.h"
+#include "obs/metrics.h"
 #include "runtime/program_runner.h"
 #include "sched/thread_pool.h"
 
@@ -70,6 +71,15 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
   if (options.threads > 0) {
     SetKernelThreads(options.threads);
     ThreadPool::SetGlobalThreads(options.threads);
+  }
+  if (options.json) {
+    // Final machine-readable record: the process-wide metrics registry,
+    // emitted after all measurement lines so BENCH_*.json files carry a
+    // telemetry block (counters, gauges, histograms).
+    std::atexit([] {
+      std::printf("{\"metrics\": %s}\n",
+                  MetricsRegistry::Global().ToJson().c_str());
+    });
   }
   GlobalBenchOptions() = options;
   return options;

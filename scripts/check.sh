@@ -1,36 +1,113 @@
 #!/usr/bin/env bash
-# Concurrency check: build the ThreadSanitizer and AddressSanitizer
-# configurations and run the concurrent suites under them. The task-graph
-# executor, the shared thread pool, the thread-safe ledger and the plan
-# service (sharded cache + single-flight) are the concurrent parts of the
-# codebase, so these are the suites that must stay sanitizer-clean.
+# Concurrency + telemetry checks, three gates:
 #
-# Usage: scripts/check.sh [tsan-build-dir] [asan-build-dir]
-#        (defaults: build-tsan build-asan)
+#   tsan        build with -DREMAC_SANITIZE=thread and run the concurrent
+#               suites (pool, ledger, task graph, plan service, metrics
+#               registry) under ThreadSanitizer
+#   asan        the same suites under AddressSanitizer
+#   bench-smoke one quick benchmark with --json, validating the emitted
+#               metrics block against tools/metrics_manifest.txt
+#
+# Usage: scripts/check.sh [tsan-build-dir] [asan-build-dir] [bench-build-dir]
+#        (defaults: build-tsan build-asan build)
+#
+# A build dir whose CMake cache was configured with a different
+# REMAC_SANITIZE value is rejected up front — delete it and rerun rather
+# than letting a stale cache produce an unsanitized "sanitizer" binary.
 
-set -euo pipefail
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
 TSAN_DIR="${1:-build-tsan}"
 ASAN_DIR="${2:-build-asan}"
-FILTER='ThreadPool.*:Ledger.*:TaskGraph.*:Sched*.*:Kernels*.*:Fingerprint*.*:PlanCache*.*:Service*.*'
+BENCH_DIR="${3:-build}"
+FILTER='ThreadPool.*:Ledger.*:TaskGraph.*:Sched*.*:Kernels*.*:Fingerprint*.*:PlanCache*.*:Service*.*:Obs*.*'
 
-cmake -B "$TSAN_DIR" -S . -DREMAC_SANITIZE=thread \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$TSAN_DIR" -j --target remac_tests
+GATES=()
+RESULTS=()
 
-echo "== running scheduler/kernel/service tests under ThreadSanitizer =="
-TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-  "$TSAN_DIR/tests/remac_tests" --gtest_filter="$FILTER"
+record() {  # record GATE pass|fail
+  GATES+=("$1")
+  RESULTS+=("$2")
+  if [[ "$2" == pass ]]; then
+    echo "== gate $1: PASS =="
+  else
+    echo "== gate $1: FAIL ==" >&2
+  fi
+}
 
-echo "== TSan check passed =="
+# Fail fast if `dir` was configured with a REMAC_SANITIZE value other than
+# `want` ("" for a plain build): reconfiguring over a stale cache keeps the
+# old compile flags and silently runs the wrong binary.
+require_cache() {
+  local dir="$1" want="$2"
+  [[ -e "$dir" ]] || return 0
+  if [[ ! -f "$dir/CMakeCache.txt" ]]; then
+    echo "error: '$dir' exists but has no CMakeCache.txt — not a CMake" \
+         "build dir. Remove it (rm -rf '$dir') and rerun." >&2
+    return 1
+  fi
+  local have
+  have="$(sed -n 's/^REMAC_SANITIZE:[^=]*=//p' "$dir/CMakeCache.txt" | head -1)"
+  if [[ "$have" != "$want" ]]; then
+    echo "error: '$dir' was configured with REMAC_SANITIZE='$have'," \
+         "this gate needs '$want'. Remove it (rm -rf '$dir') and rerun." >&2
+    return 1
+  fi
+}
 
-cmake -B "$ASAN_DIR" -S . -DREMAC_SANITIZE=address \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$ASAN_DIR" -j --target remac_tests
+sanitizer_gate() {  # sanitizer_gate NAME DIR SANITIZE_VALUE ENV_VAR
+  local name="$1" dir="$2" value="$3" env_var="$4"
+  require_cache "$dir" "$value" || return 1
+  cmake -B "$dir" -S . -DREMAC_SANITIZE="$value" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo || return 1
+  cmake --build "$dir" -j --target remac_tests || return 1
+  echo "== running concurrent suites under $name =="
+  env "$env_var=${!env_var:-halt_on_error=1}" \
+    "$dir/tests/remac_tests" --gtest_filter="$FILTER"
+}
 
-echo "== running scheduler/kernel/service tests under AddressSanitizer =="
-ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
-  "$ASAN_DIR/tests/remac_tests" --gtest_filter="$FILTER"
+bench_smoke_gate() {
+  require_cache "$BENCH_DIR" "" || return 1
+  cmake -B "$BENCH_DIR" -S . || return 1
+  cmake --build "$BENCH_DIR" -j --target bench_smoke || return 1
+  local bin="$BENCH_DIR/bench/bench_smoke"
+  if [[ ! -x "$bin" ]]; then
+    bin="$(find "$BENCH_DIR" -name bench_smoke -type f | head -1)"
+  fi
+  if [[ -z "$bin" ]]; then
+    echo "error: bench_smoke binary not found under '$BENCH_DIR'" >&2
+    return 1
+  fi
+  local out="$BENCH_DIR/bench_smoke.out"
+  "$bin" --quick --json | tee "$out" || return 1
+  python3 tools/validate_metrics.py --manifest tools/metrics_manifest.txt \
+    "$out"
+}
 
-echo "== ASan check passed =="
+if sanitizer_gate ThreadSanitizer "$TSAN_DIR" thread TSAN_OPTIONS; then
+  record tsan pass
+else
+  record tsan fail
+fi
+
+if sanitizer_gate AddressSanitizer "$ASAN_DIR" address ASAN_OPTIONS; then
+  record asan pass
+else
+  record asan fail
+fi
+
+if bench_smoke_gate; then
+  record bench-smoke pass
+else
+  record bench-smoke fail
+fi
+
+echo
+echo "== summary =="
+status=0
+for i in "${!GATES[@]}"; do
+  printf '%-12s %s\n' "${GATES[$i]}" "${RESULTS[$i]}"
+  [[ "${RESULTS[$i]}" == pass ]] || status=1
+done
+exit $status

@@ -1,13 +1,13 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace remac {
 
 namespace {
-
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,18 +23,47 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+/// Startup threshold: REMAC_LOG=debug|info|warn|error overrides the
+/// default (kWarning keeps library code quiet in tests and benchmarks).
+/// Unrecognized values fall back to the default with a warning.
+int InitialLevel() {
+  const char* env = std::getenv("REMAC_LOG");
+  if (env == nullptr || env[0] == '\0') {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  std::string value;
+  for (const char* p = env; *p != '\0'; ++p) {
+    value.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (value == "debug") return static_cast<int>(LogLevel::kDebug);
+  if (value == "info") return static_cast<int>(LogLevel::kInfo);
+  if (value == "warn" || value == "warning") {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (value == "error") return static_cast<int>(LogLevel::kError);
+  std::fprintf(stderr, "[remac WARN] unrecognized REMAC_LOG=%s (expected %s)\n",
+               env, "debug|info|warn|error");
+  return static_cast<int>(LogLevel::kWarning);
+}
+
+std::atomic<int>& GlobalLevel() {
+  static std::atomic<int> level{InitialLevel()};
+  return level;
+}
+
 }  // namespace
 
 void Logger::SetLevel(LogLevel level) {
-  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  GlobalLevel().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel Logger::GetLevel() {
-  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+  return static_cast<LogLevel>(GlobalLevel().load(std::memory_order_relaxed));
 }
 
 void Logger::Log(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+  if (static_cast<int>(level) < GlobalLevel().load(std::memory_order_relaxed)) {
     return;
   }
   std::fprintf(stderr, "[remac %s] %s\n", LevelName(level), message.c_str());

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <functional>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "core/analysis.h"
 #include "core/cross_block.h"
@@ -359,6 +360,17 @@ Result<CompiledProgram> ReMacOptimizer::Optimize(
       ++local_report.applied_cse;
     }
     local_report.applied_options.push_back(opt->ToString());
+  }
+  if (Logger::GetLevel() <= LogLevel::kDebug) {
+    REMAC_LOG(kDebug) << "optimizer: " << options.size() << " options, chose "
+                      << chosen.size() << " (cse=" << local_report.applied_cse
+                      << " lse=" << local_report.applied_lse
+                      << "), predicted cost "
+                      << local_report.probe.chosen_cost << "s/iter vs baseline "
+                      << local_report.probe.baseline_cost << "s/iter";
+    for (const EliminationOption* opt : chosen) {
+      REMAC_LOG(kDebug) << "optimizer:   applied " << opt->ToString();
+    }
   }
 
   // ---- Emission. ----

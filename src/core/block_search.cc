@@ -5,6 +5,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "plan/rewriter.h"
 
 namespace remac {
@@ -15,6 +16,25 @@ using Clock = std::chrono::steady_clock;
 
 double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Books one search run into the registry (all three search methods).
+void RecordSearchMetrics(int64_t windows,
+                         const std::vector<EliminationOption>& options) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("remac.search.runs")->Add();
+  if (windows > 0) {
+    registry.GetCounter("remac.search.windows_visited")->Add(windows);
+  }
+  registry.GetCounter("remac.search.options_found")
+      ->Add(static_cast<int64_t>(options.size()));
+  int64_t lse = 0;
+  for (const auto& option : options) {
+    if (option.IsLse()) ++lse;
+  }
+  registry.GetCounter("remac.search.lse_options")->Add(lse);
+  registry.GetCounter("remac.search.cse_options")
+      ->Add(static_cast<int64_t>(options.size()) - lse);
 }
 
 /// Shape of the canonical (key-oriented) subexpression of an occurrence.
@@ -189,6 +209,7 @@ std::vector<EliminationOption> BlockWiseSearch(const SearchSpace& space,
   }
   std::vector<EliminationOption> options =
       OptionsFromTable(space, table, find_lse);
+  RecordSearchMetrics(windows, options);
   if (report != nullptr) {
     report->wall_seconds = SecondsSince(start);
     report->windows_visited = windows;
@@ -325,6 +346,7 @@ std::vector<EliminationOption> TreeWiseSearch(const SearchSpace& space,
   }
   std::vector<EliminationOption> options =
       OptionsFromTable(space, table, find_lse);
+  RecordSearchMetrics(0, options);
   if (report != nullptr) {
     report->wall_seconds = SecondsSince(start);
     report->windows_visited = exhausted ? -1 : 0;
@@ -359,6 +381,7 @@ std::vector<EliminationOption> SampledSearch(const SearchSpace& space,
   }
   std::vector<EliminationOption> options =
       OptionsFromTable(space, table, /*find_lse=*/false);
+  RecordSearchMetrics(windows, options);
   if (report != nullptr) {
     report->wall_seconds = SecondsSince(start);
     report->windows_visited = windows;

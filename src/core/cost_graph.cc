@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "cost/physical_model.h"
+#include "obs/metrics.h"
 
 namespace remac {
 
@@ -42,11 +43,13 @@ Result<CostedStats> CostGraph::FactorStats(const Factor& factor) const {
 Status CostGraph::Build() {
   tables_.clear();
   tables_.resize(space_->blocks.size());
+  int64_t interval_nodes = 0;
   for (size_t b = 0; b < space_->blocks.size(); ++b) {
     const Block& block = space_->blocks[b];
     BlockTable& table = tables_[b];
     const int n = static_cast<int>(block.factors.size());
     table.stats.resize(static_cast<size_t>(n) * n);
+    interval_nodes += static_cast<int64_t>(n) * (n + 1) / 2;
     for (int i = 0; i < n; ++i) {
       REMAC_ASSIGN_OR_RETURN(CostedStats leaf, FactorStats(block.factors[i]));
       table.opaque_factor_seconds += leaf.seconds;
@@ -84,6 +87,11 @@ Status CostGraph::Build() {
                            SkeletonCost(static_cast<int>(e)));
     total_skeleton_seconds_ += glue;
   }
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("remac.costgraph.builds")->Add();
+  registry.GetCounter("remac.costgraph.blocks")
+      ->Add(static_cast<int64_t>(space_->blocks.size()));
+  registry.GetCounter("remac.costgraph.interval_nodes")->Add(interval_nodes);
   return Status::OK();
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.h"
+
 namespace remac {
 
 Result<std::vector<const EliminationOption*>> AdaptiveProbe(
@@ -27,8 +29,11 @@ Result<std::vector<const EliminationOption*>> AdaptiveProbe(
   candidates.reserve(options.size());
   for (const auto& opt : options) candidates.push_back(&opt);
 
+  int rounds = 0;
+  int withdrawn = 0;
   const double kImprovementEps = 1e-12;
   for (;;) {
+    ++rounds;
     const EliminationOption* best_option = nullptr;
     double best_with = best_cost;
     for (const EliminationOption* candidate : candidates) {
@@ -49,15 +54,28 @@ Result<std::vector<const EliminationOption*>> AdaptiveProbe(
     remaining.reserve(candidates.size());
     for (const EliminationOption* candidate : candidates) {
       if (candidate == best_option) continue;
-      if (OptionsConflict(*candidate, *best_option)) continue;
+      if (OptionsConflict(*candidate, *best_option)) {
+        ++withdrawn;
+        continue;
+      }
       remaining.push_back(candidate);
     }
     candidates = std::move(remaining);
     if (candidates.empty()) break;
   }
 
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("remac.probe.runs")->Add();
+  registry.GetCounter("remac.probe.evaluations")->Add(evaluations);
+  registry.GetCounter("remac.probe.rounds")->Add(rounds);
+  registry.GetCounter("remac.probe.withdrawn")->Add(withdrawn);
+  registry.GetCounter("remac.probe.chosen_options")
+      ->Add(static_cast<int64_t>(chosen.size()));
+
   if (report != nullptr) {
     report->evaluations = evaluations;
+    report->rounds = rounds;
+    report->withdrawn = withdrawn;
     report->wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();

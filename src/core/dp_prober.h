@@ -12,6 +12,10 @@ namespace remac {
 /// Metrics of one probing / enumeration run.
 struct ProbeReport {
   int evaluations = 0;
+  /// Greedy pick-the-best rounds the probe ran (>= 1).
+  int rounds = 0;
+  /// Candidates withdrawn for conflicting with a committed option.
+  int withdrawn = 0;
   double wall_seconds = 0.0;
   double chosen_cost = 0.0;    // per-iteration cost of the final pick
   double baseline_cost = 0.0;  // per-iteration cost with no options

@@ -1,0 +1,87 @@
+#ifndef REMAC_OBS_COST_AUDIT_H_
+#define REMAC_OBS_COST_AUDIT_H_
+
+#include <array>
+#include <string>
+
+#include "cluster/cluster_model.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "plan/plan_builder.h"
+#include "runtime/executor.h"
+#include "sparsity/estimator.h"
+
+namespace remac {
+
+/// \brief Cost-model accuracy audit (ISSUE/paper Section 4).
+///
+/// ReMac picks elimination combinations by predicted cost
+/// (w_flop * FLOP + sum_pr w_pr * D_pr); this module checks that those
+/// predictions track what the simulated cluster actually booked. Before
+/// execution, PredictProgramCost walks the optimized program exactly the
+/// way runtime/executor.cc will (transpose fusion, scalar degradation,
+/// local/distributed placement, barrier-commit loops) but with the
+/// optimizer's sparsity *estimates* instead of materialized matrices, so
+/// any predicted-vs-actual gap isolates estimation error. After
+/// execution, the runner pairs the prediction with the ledger delta.
+
+/// FLOPs and per-primitive transmission bytes a program is predicted to
+/// book into the TransmissionLedger.
+struct PredictedCost {
+  double local_flops = 0.0;
+  double distributed_flops = 0.0;
+  /// Indexed by TransmissionPrimitive.
+  std::array<double, kNumTransmissionPrimitives> bytes{};
+
+  double TotalFlops() const { return local_flops + distributed_flops; }
+};
+
+/// Walks `program` mirroring the serial executor's booking sites,
+/// propagating statistics with `estimator`. `loop_iterations` must be the
+/// iteration count the executor will actually run (the audit cannot
+/// predict condition-based early exit — a documented limitation).
+Result<PredictedCost> PredictProgramCost(const CompiledProgram& program,
+                                         const DataCatalog& catalog,
+                                         const SparsityEstimator& estimator,
+                                         const ClusterModel& model,
+                                         const EngineTraits& traits,
+                                         int loop_iterations);
+
+/// One predicted-vs-actual pair.
+struct PrimitiveAudit {
+  double predicted = 0.0;
+  double actual = 0.0;
+
+  /// |predicted - actual| / actual; 1.0 when the model predicted work
+  /// where none happened, 0.0 when both sides are zero.
+  double RelativeError() const;
+};
+
+/// Per-program audit result attached to RunReport and rendered by
+/// `remac run --stats`.
+struct CostAuditRecord {
+  /// False when prediction failed (error holds why); audit failures never
+  /// fail the run itself.
+  bool valid = false;
+  std::string error;
+  PrimitiveAudit flops;
+  /// Indexed by TransmissionPrimitive.
+  std::array<PrimitiveAudit, kNumTransmissionPrimitives> transmission{};
+
+  /// Human-readable accuracy section (predicted / actual / rel-err per
+  /// primitive).
+  std::string ToString() const;
+};
+
+/// Pairs a prediction with the ledger-observed actuals.
+CostAuditRecord MakeCostAudit(
+    const PredictedCost& predicted, double actual_flops,
+    const std::array<double, kNumTransmissionPrimitives>& actual_bytes);
+
+/// Records the audit into `registry` under remac.audit.* (per-program
+/// relative-error histograms plus running predicted/actual totals).
+void PublishCostAudit(const CostAuditRecord& audit, MetricsRegistry* registry);
+
+}  // namespace remac
+
+#endif  // REMAC_OBS_COST_AUDIT_H_

@@ -1,0 +1,293 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace remac {
+
+namespace {
+
+/// Formats a double the same way in JSON and Prometheus exports.
+/// Integral values print without an exponent or trailing zeros so that
+/// golden tests stay readable ("3" rather than "3.0000000").
+std::string FormatDouble(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 1e15) {
+    return StringFormat("%.0f", value);
+  }
+  return StringFormat("%.9g", value);
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's
+/// dot-separated names map dots (and any other byte) to underscores.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void Gauge::Add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::SetMax(double value) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (value > current &&
+         !value_.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+const std::vector<double>& Histogram::DefaultLatencyBounds() {
+  static const std::vector<double> bounds = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2,
+                                             0.1,  1.0,  10.0, 60.0};
+  return bounds;
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose inclusive upper bound holds the value.
+  size_t index = bounds_.size();
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      index = i;
+      break;
+    }
+  }
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry::MetricsRegistry() {
+  shards_.reserve(kShards);
+  for (int i = 0; i < kShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::ShardFor(const std::string& name) {
+  return *shards_[std::hash<std::string>{}(name) % shards_.size()];
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.counters[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.gauges[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.histograms[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson(bool include_histograms) const {
+  // Collect pointers under the shard locks, render sorted by name.
+  std::map<std::string, const Counter*> counters;
+  std::map<std::string, const Gauge*> gauges;
+  std::map<std::string, const Histogram*> histograms;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [name, metric] : shard->counters) {
+      counters[name] = metric.get();
+    }
+    for (const auto& [name, metric] : shard->gauges) {
+      gauges[name] = metric.get();
+    }
+    for (const auto& [name, metric] : shard->histograms) {
+      histograms[name] = metric.get();
+    }
+  }
+
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, metric] : counters) {
+    if (!first) out += ", ";
+    first = false;
+    out += StringFormat("\"%s\": %lld", JsonEscape(name).c_str(),
+                        static_cast<long long>(metric->Value()));
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, metric] : gauges) {
+    if (!first) out += ", ";
+    first = false;
+    out += StringFormat("\"%s\": %s", JsonEscape(name).c_str(),
+                        FormatDouble(metric->Value()).c_str());
+  }
+  out += "}";
+  if (include_histograms) {
+    out += ", \"histograms\": {";
+    first = true;
+    for (const auto& [name, metric] : histograms) {
+      if (!first) out += ", ";
+      first = false;
+      out += StringFormat("\"%s\": {\"count\": %lld, \"sum\": %s, "
+                          "\"buckets\": [",
+                          JsonEscape(name).c_str(),
+                          static_cast<long long>(metric->Count()),
+                          FormatDouble(metric->Sum()).c_str());
+      const std::vector<int64_t> counts = metric->BucketCounts();
+      const std::vector<double>& bounds = metric->bounds();
+      for (size_t i = 0; i < counts.size(); ++i) {
+        if (i > 0) out += ", ";
+        const std::string le =
+            i < bounds.size() ? FormatDouble(bounds[i]) : "\"+Inf\"";
+        out += StringFormat("{\"le\": %s, \"count\": %lld}", le.c_str(),
+                            static_cast<long long>(counts[i]));
+      }
+      out += "]}";
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::map<std::string, const Counter*> counters;
+  std::map<std::string, const Gauge*> gauges;
+  std::map<std::string, const Histogram*> histograms;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [name, metric] : shard->counters) {
+      counters[name] = metric.get();
+    }
+    for (const auto& [name, metric] : shard->gauges) {
+      gauges[name] = metric.get();
+    }
+    for (const auto& [name, metric] : shard->histograms) {
+      histograms[name] = metric.get();
+    }
+  }
+
+  std::string out;
+  for (const auto& [name, metric] : counters) {
+    const std::string pname = PrometheusName(name);
+    out += StringFormat("# TYPE %s counter\n%s %lld\n", pname.c_str(),
+                        pname.c_str(),
+                        static_cast<long long>(metric->Value()));
+  }
+  for (const auto& [name, metric] : gauges) {
+    const std::string pname = PrometheusName(name);
+    out += StringFormat("# TYPE %s gauge\n%s %s\n", pname.c_str(),
+                        pname.c_str(),
+                        FormatDouble(metric->Value()).c_str());
+  }
+  for (const auto& [name, metric] : histograms) {
+    const std::string pname = PrometheusName(name);
+    out += StringFormat("# TYPE %s histogram\n", pname.c_str());
+    const std::vector<int64_t> counts = metric->BucketCounts();
+    const std::vector<double>& bounds = metric->bounds();
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      const std::string le =
+          i < bounds.size() ? FormatDouble(bounds[i]) : "+Inf";
+      out += StringFormat("%s_bucket{le=\"%s\"} %lld\n", pname.c_str(),
+                          le.c_str(), static_cast<long long>(cumulative));
+    }
+    out += StringFormat("%s_sum %s\n%s_count %lld\n", pname.c_str(),
+                        FormatDouble(metric->Sum()).c_str(), pname.c_str(),
+                        static_cast<long long>(metric->Count()));
+  }
+  return out;
+}
+
+Status MetricsRegistry::WriteToFile(const std::string& path) const {
+  const bool prometheus = path.size() >= 5 &&
+                          (path.compare(path.size() - 5, 5, ".prom") == 0 ||
+                           path.compare(path.size() - 4, 4, ".txt") == 0);
+  const std::string body =
+      prometheus ? ToPrometheus() : ToJson(/*include_histograms=*/true) + "\n";
+  FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Internal("cannot write metrics to '" + path + "'");
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), file);
+  std::fclose(file);
+  if (written != body.size()) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+void MetricsRegistry::Reset() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto& [name, metric] : shard->counters) metric->Reset();
+    for (auto& [name, metric] : shard->gauges) metric->Reset();
+    for (auto& [name, metric] : shard->histograms) metric->Reset();
+  }
+}
+
+}  // namespace remac

@@ -1,0 +1,136 @@
+#ifndef REMAC_OBS_METRICS_H_
+#define REMAC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace remac {
+
+/// \brief Process-wide telemetry primitives.
+///
+/// Every subsystem reports into one MetricsRegistry under the naming
+/// scheme `remac.<subsystem>.<name>` (see docs/INTERNALS.md Section 10),
+/// so a single snapshot spans parse -> optimize -> execute instead of
+/// ad-hoc per-struct counters. Updates are lock-free atomics; only
+/// metric registration takes a (sharded) lock. All types are TSan-clean
+/// under concurrent update + snapshot.
+
+/// Monotonically increasing integer metric. Exact under concurrency
+/// (fetch_add), which the hammer tests in tests/obs_test.cc assert.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins double metric with accumulate and running-max modes
+/// (Add is a CAS loop, the repo's atomic-double idiom; SetMax keeps the
+/// high-water mark, used for queue depths).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  void SetMax(double value);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket latency/size histogram. A value lands in the first
+/// bucket whose upper bound is >= the value (bounds are inclusive upper
+/// edges); values above every bound land in the implicit +Inf bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Default bounds for second-valued latencies: 1us ... 60s, log-ish.
+  static const std::vector<double>& DefaultLatencyBounds();
+
+  void Observe(double value);
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; index bounds_.size() is +Inf.
+  std::vector<int64_t> BucketCounts() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  /// bounds_.size() + 1 slots (last = +Inf overflow).
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// \brief Thread-safe, lock-sharded registry of named metrics.
+///
+/// Get* registers on first use and returns a pointer that stays valid
+/// for the registry's lifetime (metrics are never erased; Reset zeroes
+/// values in place). Names are dot-separated (`remac.pool.steals`);
+/// exports sort by name so snapshots are deterministic (golden-testable).
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every built-in instrumentation site uses.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` applies only on first registration of `name`.
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds =
+                              Histogram::DefaultLatencyBounds());
+
+  /// JSON snapshot: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}}. With include_histograms=false the histograms
+  /// section is omitted entirely (compact form for bench JSON lines).
+  std::string ToJson(bool include_histograms = true) const;
+
+  /// Prometheus text exposition format (dots become underscores,
+  /// histograms emit cumulative `_bucket{le=...}` series).
+  std::string ToPrometheus() const;
+
+  /// Writes a snapshot to `path`; ".prom"/".txt" extensions select the
+  /// Prometheus text format, anything else gets JSON.
+  Status WriteToFile(const std::string& path) const;
+
+  /// Zeroes every registered metric in place (pointers stay valid).
+  void Reset();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
+    std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Shard& ShardFor(const std::string& name);
+
+  static constexpr int kShards = 8;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace remac
+
+#endif  // REMAC_OBS_METRICS_H_

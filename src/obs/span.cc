@@ -1,0 +1,42 @@
+#include "obs/span.h"
+
+#include "sched/thread_pool.h"
+#include "sched/trace.h"
+
+namespace remac {
+
+StageSpan::StageSpan(Histogram* histogram, TraceSink* trace, std::string name,
+                     const char* category)
+    : histogram_(histogram),
+      trace_(trace),
+      name_(std::move(name)),
+      category_(category),
+      start_(std::chrono::steady_clock::now()) {
+  if (trace_ != nullptr) trace_start_us_ = trace_->NowMicros();
+}
+
+double StageSpan::Stop() {
+  if (stopped_) return elapsed_seconds_;
+  elapsed_seconds_ = ElapsedSeconds();
+  stopped_ = true;
+  if (histogram_ != nullptr) histogram_->Observe(elapsed_seconds_);
+  if (trace_ != nullptr) {
+    TraceEvent event;
+    event.name = name_.empty() ? "stage" : name_;
+    event.category = category_;
+    event.thread = ThreadPool::CurrentWorkerId();
+    event.start_us = trace_start_us_;
+    event.duration_us = elapsed_seconds_ * 1e6;
+    trace_->Record(std::move(event));
+  }
+  return elapsed_seconds_;
+}
+
+double StageSpan::ElapsedSeconds() const {
+  if (stopped_) return elapsed_seconds_;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+}  // namespace remac

@@ -6,8 +6,33 @@
 #include "common/string_util.h"
 #include "cost/physical_model.h"
 #include "matrix/kernels.h"
+#include "obs/span.h"
 
 namespace remac {
+
+namespace {
+
+/// Registry handles resolved once; every Executor instance (serial and
+/// per-task) bumps the same process-wide counters.
+struct ExecMetrics {
+  Counter* ops =
+      MetricsRegistry::Global().GetCounter("remac.executor.ops");
+  Histogram* statement_seconds = MetricsRegistry::Global().GetHistogram(
+      "remac.executor.statement_seconds");
+  Histogram* multiply_seconds = MetricsRegistry::Global().GetHistogram(
+      "remac.executor.multiply_seconds");
+  Histogram* elementwise_seconds = MetricsRegistry::Global().GetHistogram(
+      "remac.executor.elementwise_seconds");
+  Histogram* transpose_seconds = MetricsRegistry::Global().GetHistogram(
+      "remac.executor.transpose_seconds");
+};
+
+ExecMetrics& Metrics() {
+  static ExecMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 RtValue RtValue::Scalar(double v) {
   RtValue out;
@@ -59,6 +84,7 @@ Status Executor::Run(const std::vector<CompiledStmt>& statements,
                      int max_loop_iterations) {
   for (const auto& stmt : statements) {
     if (stmt.kind == CompiledStmt::Kind::kAssign) {
+      StageSpan span(Metrics().statement_seconds);
       REMAC_ASSIGN_OR_RETURN(RtValue value, Eval(*stmt.plan));
       Set(stmt.target, std::move(value));
       continue;
@@ -165,6 +191,7 @@ Result<RtValue> Executor::EvalBinary(const PlanNode& node) {
   const bool r_scalar =
       rhs.is_scalar || (rhs.matrix.rows() == 1 && rhs.matrix.cols() == 1);
   ++ops_executed_;
+  Metrics().ops->Add();
   // Scalar-scalar.
   if (l_scalar && r_scalar) {
     REMAC_ASSIGN_OR_RETURN(const double a, lhs.AsScalar());
@@ -252,6 +279,7 @@ Result<RtValue> Executor::EvalBinary(const PlanNode& node) {
                                          model_, ledger_);
       return RtValue::FromMatrix(std::move(out.value), out.distributed);
     }
+    StageSpan span(Metrics().multiply_seconds);
     REMAC_ASSIGN_OR_RETURN(
         DistValue out,
         ExecMultiply(lhs.matrix, lhs.distributed, /*a_transposed=*/false,
@@ -269,6 +297,7 @@ Result<RtValue> Executor::EvalBinary(const PlanNode& node) {
     default:
       return Status::Internal("bad elementwise op");
   }
+  StageSpan span(Metrics().elementwise_seconds);
   REMAC_ASSIGN_OR_RETURN(
       DistValue out,
       ExecElementwise(kind, lhs.matrix, lhs.distributed, rhs.matrix,
@@ -311,6 +340,8 @@ Result<RtValue> Executor::EvalImpl(const PlanNode& node) {
       REMAC_ASSIGN_OR_RETURN(const RtValue child, Eval(*node.children[0]));
       if (child.is_scalar) return child;
       ++ops_executed_;
+      Metrics().ops->Add();
+      StageSpan span(Metrics().transpose_seconds);
       DistValue out =
           ExecTranspose(child.matrix, child.distributed, model_, ledger_);
       return RtValue::FromMatrix(std::move(out.value), out.distributed);
@@ -333,6 +364,8 @@ Result<RtValue> Executor::EvalImpl(const PlanNode& node) {
         return EvalBinary(node);
       }
       ++ops_executed_;
+      Metrics().ops->Add();
+      StageSpan span(Metrics().multiply_seconds);
       REMAC_ASSIGN_OR_RETURN(
           DistValue out,
           ExecMultiply(a.matrix, a.distributed, lt, b.matrix, b.distributed,
@@ -381,6 +414,7 @@ Result<RtValue> Executor::EvalImpl(const PlanNode& node) {
                                    : std::log(child.scalar));
       }
       ++ops_executed_;
+      Metrics().ops->Add();
       if (node.op == PlanOp::kExp) {
         DenseMatrix d = child.matrix.ToDense();  // exp(0) = 1 densifies
         for (int64_t i = 0; i < d.size(); ++i) {
@@ -406,6 +440,7 @@ Result<RtValue> Executor::EvalImpl(const PlanNode& node) {
       REMAC_ASSIGN_OR_RETURN(const RtValue child, Eval(*node.children[0]));
       const Matrix m = child.AsMatrix();
       ++ops_executed_;
+      Metrics().ops->Add();
       const bool rows = node.op == PlanOp::kRowSums;
       DenseMatrix out(rows ? m.rows() : 1, rows ? 1 : m.cols());
       const CsrMatrix csr = m.ToCsr();
@@ -430,6 +465,7 @@ Result<RtValue> Executor::EvalImpl(const PlanNode& node) {
       REMAC_ASSIGN_OR_RETURN(const RtValue child, Eval(*node.children[0]));
       const Matrix m = child.AsMatrix();
       ++ops_executed_;
+      Metrics().ops->Add();
       if (m.cols() == 1) {
         std::vector<std::tuple<int64_t, int64_t, double>> triplets;
         for (int64_t i = 0; i < m.rows(); ++i) {

@@ -6,6 +6,8 @@
 
 #include "baselines/spores_optimizer.h"
 #include "baselines/systemds_optimizer.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "sparsity/estimator.h"
 
 namespace remac {
@@ -81,10 +83,16 @@ EliminationStrategy StrategyFor(OptimizerKind kind) {
 Result<RunReport> RunInternal(const std::string& source,
                               const DataCatalog& catalog,
                               const RunConfig& config, bool execute) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
   RunReport report;
+  StageSpan parse_span(
+      registry.GetHistogram("remac.compile.parse_seconds"));
   REMAC_ASSIGN_OR_RETURN(const CompiledProgram program,
                          CompileScript(source, catalog));
+  parse_span.Stop();
 
+  StageSpan optimize_span(
+      registry.GetHistogram("remac.compile.optimize_seconds"));
   const auto compile_start = std::chrono::steady_clock::now();
   REMAC_ASSIGN_OR_RETURN(
       CompiledProgram optimized,
@@ -93,6 +101,7 @@ Result<RunReport> RunInternal(const std::string& source,
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     compile_start)
           .count();
+  optimize_span.Stop();
   report.optimized_source = optimized.ToString();
   report.optimized_program =
       std::make_shared<const CompiledProgram>(std::move(optimized));
@@ -146,6 +155,65 @@ Result<CompiledProgram> OptimizeCompiled(const CompiledProgram& program,
   }
 }
 
+namespace {
+
+/// Snapshot of the audited ledger accumulators, so ExecuteCompiled can
+/// attribute exactly this execution's delta even when the caller reuses
+/// a ledger across runs.
+struct LedgerSnapshot {
+  double flops = 0.0;
+  std::array<double, kNumTransmissionPrimitives> bytes{};
+
+  static LedgerSnapshot Of(const TransmissionLedger& ledger) {
+    LedgerSnapshot snap;
+    snap.flops = ledger.TotalFlops();
+    for (size_t i = 0; i < snap.bytes.size(); ++i) {
+      snap.bytes[i] =
+          ledger.BytesFor(static_cast<TransmissionPrimitive>(i));
+    }
+    return snap;
+  }
+};
+
+/// Runs the accuracy audit for one finished execution and publishes the
+/// ledger delta plus audit metrics. Audit failures are recorded but never
+/// fail the run.
+void AuditExecution(const CompiledProgram& optimized,
+                    const DataCatalog& catalog, const RunConfig& config,
+                    int executed_iterations, const LedgerSnapshot& before,
+                    const TransmissionLedger& ledger, RunReport* report) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const LedgerSnapshot after = LedgerSnapshot::Of(ledger);
+  const double actual_flops = after.flops - before.flops;
+  std::array<double, kNumTransmissionPrimitives> actual_bytes{};
+  for (size_t i = 0; i < actual_bytes.size(); ++i) {
+    actual_bytes[i] = after.bytes[i] - before.bytes[i];
+    registry
+        .GetGauge(std::string("remac.ledger.") +
+                  TransmissionPrimitiveName(
+                      static_cast<TransmissionPrimitive>(i)) +
+                  "_bytes")
+        ->Add(actual_bytes[i]);
+  }
+  registry.GetGauge("remac.ledger.flops")->Add(actual_flops);
+
+  const std::unique_ptr<SparsityEstimator> estimator =
+      MakeEstimator(config.estimator, &catalog);
+  const Result<PredictedCost> predicted = PredictProgramCost(
+      optimized, catalog, *estimator, config.cluster,
+      TraitsFor(config.engine), executed_iterations);
+  CostAuditRecord audit;
+  if (predicted.ok()) {
+    audit = MakeCostAudit(predicted.value(), actual_flops, actual_bytes);
+  } else {
+    audit.error = predicted.status().ToString();
+  }
+  PublishCostAudit(audit, &registry);
+  if (report != nullptr) report->audit = audit;
+}
+
+}  // namespace
+
 Status ExecuteCompiled(const CompiledProgram& optimized,
                        const DataCatalog& catalog, const RunConfig& config,
                        TransmissionLedger* ledger, RunReport* report) {
@@ -153,6 +221,11 @@ Status ExecuteCompiled(const CompiledProgram& optimized,
                            ? std::min(config.executed_iterations,
                                       config.max_iterations)
                            : config.max_iterations;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("remac.executor.programs")->Add();
+  StageSpan execute_span(
+      registry.GetHistogram("remac.executor.execute_seconds"));
+  const LedgerSnapshot before = LedgerSnapshot::Of(*ledger);
   if (config.scheduler == SchedulerKind::kTaskGraph) {
     if (config.pool_threads > 0) {
       ThreadPool::SetGlobalThreads(config.pool_threads);
@@ -176,6 +249,9 @@ Status ExecuteCompiled(const CompiledProgram& optimized,
     REMAC_RETURN_NOT_OK(executor.Run(optimized.statements, executed));
     report->env = executor.env();
   }
+  execute_span.Stop();
+  AuditExecution(optimized, catalog, config, executed, before, *ledger,
+                 report);
   return Status::OK();
 }
 

@@ -11,6 +11,7 @@
 #include "core/adaptive_optimizer.h"
 #include <memory>
 
+#include "obs/cost_audit.h"
 #include "plan/plan_builder.h"
 #include "runtime/executor.h"
 #include "sched/parallel_executor.h"
@@ -90,6 +91,9 @@ struct RunReport {
   /// simulated time, task/edge counts (see ScheduleReport).
   ScheduleReport schedule;
   OptimizeReport optimize;  // populated by the ReMac/SPORES paths
+  /// Predicted-vs-actual cost comparison for this execution (valid only
+  /// when the program was executed and prediction succeeded).
+  CostAuditRecord audit;
   std::map<std::string, RtValue> env;  // final variable values
   std::string optimized_source;        // final program rendering
   /// The optimized program itself (plan trees), for inspection and

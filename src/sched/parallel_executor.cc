@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace remac {
 
@@ -163,6 +164,17 @@ Status ParallelExecutor::Run(const std::vector<CompiledStmt>& statements,
   schedule_.makespan_seconds = std::clamp(
       schedule_.makespan_seconds + times.makespan_seconds,
       schedule_.critical_path_seconds, schedule_.serial_seconds);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetGauge("remac.sched.tasks")
+      ->Add(static_cast<double>(schedule_.tasks));
+  registry.GetGauge("remac.sched.edges")
+      ->Add(static_cast<double>(schedule_.edges));
+  registry.GetGauge("remac.sched.serial_seconds")
+      ->Add(schedule_.serial_seconds);
+  registry.GetGauge("remac.sched.critical_path_seconds")
+      ->Add(schedule_.critical_path_seconds);
+  registry.GetGauge("remac.sched.makespan_seconds")
+      ->Add(schedule_.makespan_seconds);
   return Status::OK();
 }
 

@@ -3,11 +3,29 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.h"
+
 namespace remac {
 
 namespace {
 
 thread_local int tl_worker_id = -1;
+
+/// Process-wide mirrors of the per-instance pool counters. PoolStats
+/// stays the exact per-pool view (tests assert it; SetGlobalThreads
+/// recreates pools); these aggregate across every pool's lifetime.
+struct PoolMetrics {
+  Counter* tasks =
+      MetricsRegistry::Global().GetCounter("remac.pool.tasks_executed");
+  Counter* steals = MetricsRegistry::Global().GetCounter("remac.pool.steals");
+  Gauge* peak_queue_depth =
+      MetricsRegistry::Global().GetGauge("remac.pool.peak_queue_depth");
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics metrics;
+  return metrics;
+}
 
 int ResolveThreads(int threads) {
   if (threads > 0) return threads;
@@ -60,6 +78,7 @@ void ThreadPool::Submit(std::function<void()> fn) {
            !peak_queue_depth_.compare_exchange_weak(
                peak, depth, std::memory_order_relaxed)) {
     }
+    Metrics().peak_queue_depth->SetMax(static_cast<double>(depth));
   }
   pending_.fetch_add(1, std::memory_order_release);
   {
@@ -85,6 +104,7 @@ bool ThreadPool::PopTask(int preferred, std::function<void()>* out) {
       *out = std::move(queue.items.back());
       queue.items.pop_back();
       steals_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().steals->Add();
     }
     pending_.fetch_sub(1, std::memory_order_acq_rel);
     return true;
@@ -100,6 +120,7 @@ void ThreadPool::WorkerLoop(int index) {
       task();
       task = nullptr;
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().tasks->Add();
       continue;
     }
     if (stop_.load(std::memory_order_acquire)) break;
@@ -122,6 +143,7 @@ bool ThreadPool::TryRunOne() {
   if (!PopTask(preferred, &task)) return false;
   task();
   tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().tasks->Add();
   return true;
 }
 

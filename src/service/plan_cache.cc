@@ -3,7 +3,33 @@
 #include <algorithm>
 #include <functional>
 
+#include "obs/metrics.h"
+
 namespace remac {
+
+namespace {
+
+/// Global mirrors of the per-instance cache counters (instances are the
+/// exact per-cache view; these aggregate across every cache).
+struct CacheMetrics {
+  Counter* hits =
+      MetricsRegistry::Global().GetCounter("remac.plancache.hits");
+  Counter* misses =
+      MetricsRegistry::Global().GetCounter("remac.plancache.misses");
+  Counter* evictions =
+      MetricsRegistry::Global().GetCounter("remac.plancache.evictions");
+  Counter* invalidations =
+      MetricsRegistry::Global().GetCounter("remac.plancache.invalidations");
+  Gauge* entries =
+      MetricsRegistry::Global().GetGauge("remac.plancache.entries");
+};
+
+CacheMetrics& Metrics() {
+  static CacheMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 PlanCache::PlanCache(size_t capacity, int shards)
     : capacity_(std::max<size_t>(capacity, 1)) {
@@ -28,10 +54,12 @@ std::shared_ptr<const CachedPlan> PlanCache::Get(const std::string& key) {
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().misses->Add();
     return nullptr;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   hits_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().hits->Add();
   return it->second->plan;
 }
 
@@ -54,6 +82,8 @@ void PlanCache::EvictLocked(Shard* shard) {
     shard->index.erase(victim->key);
     shard->lru.erase(victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().evictions->Add();
+    Metrics().entries->Add(-1.0);
   }
 }
 
@@ -69,6 +99,7 @@ void PlanCache::Put(const std::string& key,
   }
   shard.lru.push_front(Entry{key, std::move(plan)});
   shard.index[key] = shard.lru.begin();
+  Metrics().entries->Add(1.0);
   EvictLocked(&shard);
 }
 
@@ -79,6 +110,7 @@ bool PlanCache::Erase(const std::string& key) {
   if (it == shard.index.end()) return false;
   shard.lru.erase(it->second);
   shard.index.erase(it);
+  Metrics().entries->Add(-1.0);
   return true;
 }
 
@@ -97,6 +129,8 @@ int PlanCache::ErasePlansForProgram(uint64_t program_hash) {
     }
   }
   invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+  Metrics().invalidations->Add(dropped);
+  Metrics().entries->Add(-static_cast<double>(dropped));
   return dropped;
 }
 

@@ -5,12 +5,39 @@
 
 #include "common/string_util.h"
 #include "lang/parser.h"
+#include "obs/metrics.h"
 
 namespace remac {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Global mirrors of the per-service request stats (instances keep the
+/// exact per-service view; these aggregate across every service).
+struct ServiceMetrics {
+  Counter* requests =
+      MetricsRegistry::Global().GetCounter("remac.service.requests");
+  Counter* warm_hits =
+      MetricsRegistry::Global().GetCounter("remac.service.warm_hits");
+  Counter* cold_misses =
+      MetricsRegistry::Global().GetCounter("remac.service.cold_misses");
+  Counter* flight_waits =
+      MetricsRegistry::Global().GetCounter("remac.service.flight_waits");
+  Histogram* request_seconds = MetricsRegistry::Global().GetHistogram(
+      "remac.service.request_seconds");
+  Histogram* warm_seconds =
+      MetricsRegistry::Global().GetHistogram("remac.service.warm_seconds");
+  Histogram* cold_seconds =
+      MetricsRegistry::Global().GetHistogram("remac.service.cold_seconds");
+  Histogram* build_seconds =
+      MetricsRegistry::Global().GetHistogram("remac.service.build_seconds");
+};
+
+ServiceMetrics& Metrics() {
+  static ServiceMetrics metrics;
+  return metrics;
+}
 
 double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
@@ -69,6 +96,7 @@ Result<std::shared_ptr<const CachedPlan>> PlanService::BuildPlan(
   plan.optimized_source = optimized.ToString();
   plan.program = std::make_shared<const CompiledProgram>(std::move(optimized));
   plan.build_wall_seconds = SecondsSince(parse_start);
+  Metrics().build_seconds->Observe(plan.build_wall_seconds);
   plan.program_hash = program_hash;
   plan.metadata_key = metadata_key;
   return std::make_shared<const CachedPlan>(std::move(plan));
@@ -77,6 +105,7 @@ Result<std::shared_ptr<const CachedPlan>> PlanService::BuildPlan(
 Result<ServiceReport> PlanService::Run(const ServiceRequest& request) {
   const auto start = Clock::now();
   requests_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().requests->Add();
 
   ServiceReport report;
 
@@ -172,6 +201,7 @@ Result<ServiceReport> PlanService::Run(const ServiceRequest& request) {
       if (!built.ok()) return built.status();
     } else if (flight != nullptr) {
       single_flight_waits_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().flight_waits->Add();
       report.shared_flight = true;
       const auto wait_start = Clock::now();
       if (ThreadPool::CurrentWorkerId() >= 0) {
@@ -220,12 +250,17 @@ Result<ServiceReport> PlanService::Run(const ServiceRequest& request) {
   report.run.breakdown = ledger.Breakdown();
   report.timing.total_seconds = SecondsSince(start);
 
+  Metrics().request_seconds->Observe(report.timing.total_seconds);
   if (report.cache_hit) {
     warm_requests_.fetch_add(1, std::memory_order_relaxed);
     AtomicAdd(&warm_seconds_, report.timing.total_seconds);
+    Metrics().warm_hits->Add();
+    Metrics().warm_seconds->Observe(report.timing.total_seconds);
   } else {
     cold_requests_.fetch_add(1, std::memory_order_relaxed);
     AtomicAdd(&cold_seconds_, report.timing.total_seconds);
+    Metrics().cold_misses->Add();
+    Metrics().cold_seconds->Observe(report.timing.total_seconds);
   }
   return report;
 }

@@ -26,6 +26,11 @@
 //                            service (run: opt-in; serve default 8)
 //   --cache-size N           plan-cache capacity in entries (default 64)
 //   --threads N              thread count for the shared pool
+//   --stats                  print the telemetry snapshot (metrics registry
+//                            plus the cost-model accuracy audit) at exit
+//   --metrics-out PATH       dump the metrics registry to PATH at exit
+//                            (.prom/.txt = Prometheus text, else JSON);
+//                            serve mode rewrites it after every request
 
 #include <cstdio>
 #include <cstring>
@@ -38,6 +43,7 @@
 #include "data/generators.h"
 #include "io/matrix_market.h"
 #include "matrix/kernels.h"
+#include "obs/metrics.h"
 #include "plan/plan_dot.h"
 #include "runtime/program_runner.h"
 #include "sched/thread_pool.h"
@@ -51,7 +57,8 @@ int Usage() {
                "usage: remac run|serve|compile SCRIPT.dml [--data NAME=PATH] "
                "[--dataset NAME] [--optimizer KIND] [--estimator KIND] "
                "[--engine KIND] [--iterations N] [--print-plan] "
-               "[--print VAR] [--repeat N] [--cache-size N] [--threads N]\n"
+               "[--print VAR] [--repeat N] [--cache-size N] [--threads N] "
+               "[--stats] [--metrics-out PATH]\n"
                "       remac datasets\n"
                "       remac gen NAME OUT.mtx\n");
   return 2;
@@ -132,6 +139,25 @@ void PrintValue(const std::string& name, const RtValue& value) {
   if (show_rows < m.rows()) std::printf("  ...\n");
 }
 
+/// --stats / --metrics-out epilogue shared by run and serve.
+int EmitTelemetry(bool show_stats, const std::string& metrics_out,
+                  const CostAuditRecord* audit) {
+  if (show_stats) {
+    std::printf("--- telemetry ---\n");
+    if (audit != nullptr) std::printf("%s", audit->ToString().c_str());
+    std::printf("%s\n", MetricsRegistry::Global().ToJson().c_str());
+  }
+  if (!metrics_out.empty()) {
+    if (Status st = MetricsRegistry::Global().WriteToFile(metrics_out);
+        !st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -178,6 +204,8 @@ int Main(int argc, char** argv) {
   std::vector<std::string> print_vars;
   int repeat = command == "serve" ? 8 : 0;
   size_t cache_size = 64;
+  bool show_stats = false;
+  std::string metrics_out;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -250,6 +278,12 @@ int Main(int argc, char** argv) {
       SetKernelThreads(threads);
       ThreadPool::SetGlobalThreads(threads);
       config.pool_threads = threads;
+    } else if (arg == "--stats") {
+      show_stats = true;
+    } else if (arg == "--metrics-out") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      metrics_out = value;
     } else if (arg == "--print-plan") {
       print_plan = true;
     } else if (arg == "--dot") {
@@ -304,6 +338,10 @@ int Main(int argc, char** argv) {
           HumanSeconds(r.timing.optimize_seconds).c_str(),
           HumanSeconds(r.timing.execute_seconds).c_str(),
           HumanSeconds(r.timing.total_seconds).c_str());
+      if (!metrics_out.empty()) {
+        // Periodic dump: keep the file fresh while the service runs.
+        (void)MetricsRegistry::Global().WriteToFile(metrics_out);
+      }
     }
 
     const ServiceStats stats = service.stats();
@@ -360,7 +398,7 @@ int Main(int argc, char** argv) {
       }
       PrintValue(var, it->second);
     }
-    return 0;
+    return EmitTelemetry(show_stats, metrics_out, &r.run.audit);
   }
 
   auto run = command == "run"
@@ -403,7 +441,8 @@ int Main(int argc, char** argv) {
     }
     PrintValue(var, it->second);
   }
-  return 0;
+  return EmitTelemetry(show_stats, metrics_out,
+                       command == "run" ? &run->audit : nullptr);
 }
 
 }  // namespace
