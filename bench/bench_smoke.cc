@@ -41,5 +41,22 @@ int main(int argc, char** argv) {
   std::printf("%-22s %12s %12s\n", "dfp (adaptive)",
               Fmt(m->execution_seconds).c_str(),
               Fmt(m->elapsed_seconds).c_str());
+
+  // Chaos pass: one seeded fault-injected task-graph run, so the
+  // remac.fault.* / remac.retry.* metric set registers and the manifest
+  // check covers it.
+  RunConfig chaos = config;
+  chaos.scheduler = SchedulerKind::kTaskGraph;
+  chaos.faults = FaultPlan::Chaos(17);
+  chaos.executed_iterations = 1;
+  auto c = RunScript(script, SharedCatalog(), chaos);
+  if (!c.ok()) {
+    std::printf("ERROR chaos pass: %s\n", c.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-22s faults=%lld retries=%lld wasted=%s\n", "dfp (chaos)",
+              static_cast<long long>(c->schedule.faults_injected),
+              static_cast<long long>(c->schedule.retries),
+              Fmt(c->schedule.wasted_seconds).c_str());
   return 0;
 }

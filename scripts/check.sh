@@ -5,11 +5,13 @@
 #               suites (pool, ledger, task graph, plan service, metrics
 #               registry) under ThreadSanitizer
 #   asan        the same suites under AddressSanitizer
+#   ubsan       the same suites under UndefinedBehaviorSanitizer
 #   bench-smoke one quick benchmark with --json, validating the emitted
 #               metrics block against tools/metrics_manifest.txt
 #
-# Usage: scripts/check.sh [tsan-build-dir] [asan-build-dir] [bench-build-dir]
-#        (defaults: build-tsan build-asan build)
+# Usage: scripts/check.sh [tsan-build-dir] [asan-build-dir] \
+#                         [bench-build-dir] [ubsan-build-dir]
+#        (defaults: build-tsan build-asan build build-ubsan)
 #
 # A build dir whose CMake cache was configured with a different
 # REMAC_SANITIZE value is rejected up front — delete it and rerun rather
@@ -21,7 +23,8 @@ cd "$(dirname "$0")/.."
 TSAN_DIR="${1:-build-tsan}"
 ASAN_DIR="${2:-build-asan}"
 BENCH_DIR="${3:-build}"
-FILTER='ThreadPool.*:Ledger.*:TaskGraph.*:Sched*.*:Kernels*.*:Fingerprint*.*:PlanCache*.*:Service*.*:Obs*.*'
+UBSAN_DIR="${4:-build-ubsan}"
+FILTER='ThreadPool.*:Ledger.*:TaskGraph.*:Sched*.*:Kernels*.*:Fingerprint*.*:PlanCache*.*:Service*.*:Obs*.*:Chaos*.*:Fault*.*'
 
 GATES=()
 RESULTS=()
@@ -95,6 +98,13 @@ if sanitizer_gate AddressSanitizer "$ASAN_DIR" address ASAN_OPTIONS; then
   record asan pass
 else
   record asan fail
+fi
+
+if sanitizer_gate UndefinedBehaviorSanitizer "$UBSAN_DIR" undefined \
+     UBSAN_OPTIONS; then
+  record ubsan pass
+else
+  record ubsan fail
 fi
 
 if bench_smoke_gate; then

@@ -1,0 +1,128 @@
+#ifndef REMAC_CLUSTER_FAULT_PLAN_H_
+#define REMAC_CLUSTER_FAULT_PLAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace remac {
+
+/// \brief Seeded description of the faults a simulated run must survive.
+///
+/// The paper's substrate (Spark on 7 nodes) re-executes lost tasks from
+/// lineage; our simulated cluster never fails on its own, so chaos runs
+/// inject failures deterministically instead. Every decision is a pure
+/// function of (seed, task identity, attempt), independent of thread
+/// interleaving, so a chaos run is reproducible and — because failed
+/// attempts are discarded before commit — bitwise-identical in its
+/// results to the fault-free run whenever retries eventually succeed.
+///
+/// The default Chaos() profile guarantees eventual success by
+/// construction: transient faults only strike the first
+/// `transient_fail_attempts` attempts of a task, a worker crash consumes
+/// exactly one attempt, and `max_retries` exceeds both.
+struct FaultPlan {
+  /// Master switch; disabled plans inject nothing.
+  bool enabled = false;
+  /// Seed for every per-task fault draw.
+  uint64_t seed = 0;
+
+  /// Probability that a task suffers transient failures (kernel or
+  /// transmission error). A struck task fails deterministically on
+  /// attempts [0, transient_fail_attempts) and succeeds afterwards.
+  double transient_probability = 0.0;
+  int transient_fail_attempts = 2;
+
+  /// Probability that a task lands on a straggler worker; its simulated
+  /// duration is multiplied by `straggler_factor` (numerics unchanged).
+  double straggler_probability = 0.0;
+  double straggler_factor = 4.0;
+
+  /// Global task ordinal (first attempts only) at which a worker crash
+  /// destroys the running attempt; -1 disables. The re-execution pays
+  /// `crash_recovery_seconds` of simulated rescheduling on top of the
+  /// usual backoff.
+  int64_t crash_at_task = -1;
+  double crash_recovery_seconds = 0.5;
+
+  /// Retries per task before the run gives up with Unavailable
+  /// (attempts = max_retries + 1).
+  int max_retries = 4;
+
+  /// Exponential backoff booked as simulated recovery time:
+  /// backoff(attempt) = backoff_base_seconds * backoff_multiplier^attempt.
+  double backoff_base_seconds = 0.05;
+  double backoff_multiplier = 2.0;
+
+  /// The `remac run --chaos <seed>` profile: transients, stragglers and
+  /// one early worker crash, tuned so every task recovers within the
+  /// retry budget.
+  static FaultPlan Chaos(uint64_t seed);
+
+  std::string ToString() const;
+};
+
+enum class FaultKind { kNone, kTransient, kWorkerCrash, kStraggler };
+
+const char* FaultKindName(FaultKind kind);
+
+/// One probe's outcome for a task attempt.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  /// Simulated-duration multiplier (>1 for stragglers).
+  double slowdown = 1.0;
+
+  /// Whether the attempt's result must be discarded and re-executed.
+  bool Fails() const {
+    return kind == FaultKind::kTransient || kind == FaultKind::kWorkerCrash;
+  }
+};
+
+/// Counters of what an injector actually did (relaxed snapshots).
+struct FaultStats {
+  int64_t probes = 0;
+  int64_t injected = 0;  // failing faults (transients + crashes)
+  int64_t transients = 0;
+  int64_t crashes = 0;
+  int64_t stragglers = 0;
+};
+
+/// \brief Deterministic fault oracle threaded through the scheduler.
+///
+/// Thread-safe; decisions hash (seed, task_key, attempt) so concurrent
+/// probing from pool workers yields the same faults regardless of
+/// interleaving. The crash ordinal is the only shared state: an atomic
+/// first-attempt counter, so exactly one task absorbs the crash.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Decides the fate of `task_key`'s attempt number `attempt`.
+  FaultDecision Probe(std::string_view task_key, int attempt);
+
+  /// Simulated seconds of backoff before re-executing after `attempt`.
+  double BackoffSeconds(int attempt) const;
+
+  FaultStats stats() const;
+
+ private:
+  /// Uniform draw in [0, 1) from (seed, task_key, salt).
+  double Draw(std::string_view task_key, uint64_t salt) const;
+
+  FaultPlan plan_;
+  std::atomic<int64_t> first_attempts_{0};
+  std::atomic<int64_t> probes_{0};
+  std::atomic<int64_t> transients_{0};
+  std::atomic<int64_t> crashes_{0};
+  std::atomic<int64_t> stragglers_{0};
+};
+
+}  // namespace remac
+
+#endif  // REMAC_CLUSTER_FAULT_PLAN_H_

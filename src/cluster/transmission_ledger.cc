@@ -22,16 +22,23 @@ TimeBreakdown& TimeBreakdown::operator+=(const TimeBreakdown& other) {
   compilation_seconds += other.compilation_seconds;
   computation_seconds += other.computation_seconds;
   transmission_seconds += other.transmission_seconds;
+  recovery_seconds += other.recovery_seconds;
   return *this;
 }
 
 std::string TimeBreakdown::ToString() const {
+  // The recovery component only appears on chaos runs; fault-free output
+  // keeps the historical four-part format.
+  std::string recovery =
+      recovery_seconds > 0.0
+          ? StringFormat(" recovery=%s", HumanSeconds(recovery_seconds).c_str())
+          : "";
   return StringFormat(
-      "partition=%s compile=%s compute=%s transmit=%s total=%s",
+      "partition=%s compile=%s compute=%s transmit=%s%s total=%s",
       HumanSeconds(input_partition_seconds).c_str(),
       HumanSeconds(compilation_seconds).c_str(),
       HumanSeconds(computation_seconds).c_str(),
-      HumanSeconds(transmission_seconds).c_str(),
+      HumanSeconds(transmission_seconds).c_str(), recovery.c_str(),
       HumanSeconds(TotalSeconds()).c_str());
 }
 
@@ -56,6 +63,15 @@ void TransmissionLedger::AddCompilationSeconds(double seconds) {
   AtomicAdd(compilation_seconds_, seconds);
 }
 
+void TransmissionLedger::AddRecoverySeconds(double seconds) {
+  AtomicAdd(recovery_seconds_, seconds);
+}
+
+void TransmissionLedger::AddWasted(double flops, double bytes) {
+  AtomicAdd(wasted_flops_, flops);
+  AtomicAdd(wasted_bytes_, bytes);
+}
+
 void TransmissionLedger::MergeFrom(const TransmissionLedger& other) {
   AtomicAdd(distributed_flops_,
             other.distributed_flops_.load(std::memory_order_relaxed));
@@ -67,6 +83,10 @@ void TransmissionLedger::MergeFrom(const TransmissionLedger& other) {
             other.input_partition_bytes_.load(std::memory_order_relaxed));
   AtomicAdd(compilation_seconds_,
             other.compilation_seconds_.load(std::memory_order_relaxed));
+  AtomicAdd(recovery_seconds_,
+            other.recovery_seconds_.load(std::memory_order_relaxed));
+  AtomicAdd(wasted_flops_, other.wasted_flops_.load(std::memory_order_relaxed));
+  AtomicAdd(wasted_bytes_, other.wasted_bytes_.load(std::memory_order_relaxed));
 }
 
 double TransmissionLedger::TotalBytes() const {
@@ -89,6 +109,7 @@ TimeBreakdown TransmissionLedger::Breakdown() const {
   b.input_partition_seconds =
       input_partition_bytes_.load(std::memory_order_relaxed) *
       model_.WPrimitive(TransmissionPrimitive::kDfs);
+  b.recovery_seconds = recovery_seconds_.load(std::memory_order_relaxed);
   return b;
 }
 
@@ -98,6 +119,9 @@ void TransmissionLedger::Reset() {
   for (auto& b : bytes_) b.store(0.0, std::memory_order_relaxed);
   input_partition_bytes_.store(0.0, std::memory_order_relaxed);
   compilation_seconds_.store(0.0, std::memory_order_relaxed);
+  recovery_seconds_.store(0.0, std::memory_order_relaxed);
+  wasted_flops_.store(0.0, std::memory_order_relaxed);
+  wasted_bytes_.store(0.0, std::memory_order_relaxed);
 }
 
 }  // namespace remac

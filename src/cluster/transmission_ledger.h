@@ -16,10 +16,13 @@ struct TimeBreakdown {
   double compilation_seconds = 0.0;
   double computation_seconds = 0.0;
   double transmission_seconds = 0.0;
+  /// Time lost to fault recovery: retry backoff, crash rescheduling and
+  /// straggler delay (chaos runs only; zero on fault-free runs).
+  double recovery_seconds = 0.0;
 
   double TotalSeconds() const {
     return input_partition_seconds + compilation_seconds +
-           computation_seconds + transmission_seconds;
+           computation_seconds + transmission_seconds + recovery_seconds;
   }
 
   TimeBreakdown& operator+=(const TimeBreakdown& other);
@@ -59,6 +62,14 @@ class TransmissionLedger {
   void AddInputPartition(double bytes);
   /// Books real compilation wall time.
   void AddCompilationSeconds(double seconds);
+  /// Books simulated fault-recovery time (retry backoff, crash
+  /// rescheduling, straggler delay).
+  void AddRecoverySeconds(double seconds);
+  /// Records work lost to a failed attempt. The attempt's FLOPs/bytes are
+  /// double-booked into the main accumulators via MergeFrom (a re-run
+  /// costs the cluster twice, the way Spark re-executes lineage); this
+  /// tracks the lost share so reports can attribute it.
+  void AddWasted(double flops, double bytes);
 
   /// Adds every accumulator of `other` into this ledger (used to fold
   /// per-task ledgers into the run's main ledger).
@@ -73,6 +84,16 @@ class TransmissionLedger {
   }
   /// Total bytes across all transmission primitives.
   double TotalBytes() const;
+
+  double WastedFlops() const {
+    return wasted_flops_.load(std::memory_order_relaxed);
+  }
+  double WastedBytes() const {
+    return wasted_bytes_.load(std::memory_order_relaxed);
+  }
+  double RecoverySeconds() const {
+    return recovery_seconds_.load(std::memory_order_relaxed);
+  }
 
   /// The simulated time breakdown accumulated so far.
   TimeBreakdown Breakdown() const;
@@ -89,6 +110,9 @@ class TransmissionLedger {
   std::array<std::atomic<double>, kNumTransmissionPrimitives> bytes_{};
   std::atomic<double> input_partition_bytes_{0.0};
   std::atomic<double> compilation_seconds_{0.0};
+  std::atomic<double> recovery_seconds_{0.0};
+  std::atomic<double> wasted_flops_{0.0};
+  std::atomic<double> wasted_bytes_{0.0};
 };
 
 }  // namespace remac

@@ -22,6 +22,9 @@ enum class StatusCode {
   kUnsupported,
   kOutOfRange,
   kInternal,
+  /// Transient resource exhaustion (a task ran out of retries, a worker
+  /// is lost); callers may degrade to a slower-but-correct path.
+  kUnavailable,
 };
 
 /// \brief Lightweight success-or-error value.
@@ -58,6 +61,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -17,6 +17,17 @@ struct Header {
   bool pattern = false;
 };
 
+/// Advances to the next non-blank, non-comment line. The MatrixMarket
+/// spec allows comment ('%') and blank lines anywhere after the banner,
+/// including interleaved with coordinate data. Returns false on EOF.
+bool NextDataLine(std::istream& in, std::string* line) {
+  while (std::getline(in, *line)) {
+    const std::string_view stripped = StripWhitespace(*line);
+    if (!stripped.empty() && stripped[0] != '%') return true;
+  }
+  return false;
+}
+
 Result<Header> ParseHeader(const std::string& line) {
   std::istringstream in(line);
   std::string banner, object, format, field, symmetry;
@@ -57,10 +68,9 @@ Result<Matrix> ParseMatrixMarket(const std::string& content) {
     return Status::ParseError("empty MatrixMarket input");
   }
   REMAC_ASSIGN_OR_RETURN(const Header header, ParseHeader(line));
-  // Skip comments.
-  while (std::getline(in, line)) {
-    const std::string_view stripped = StripWhitespace(line);
-    if (!stripped.empty() && stripped[0] != '%') break;
+  if (!NextDataLine(in, &line)) {
+    return Status::ParseError(
+        "missing size line (file has only header and comments)");
   }
   std::istringstream dims(line);
   int64_t rows = 0;
@@ -73,7 +83,7 @@ Result<Matrix> ParseMatrixMarket(const std::string& content) {
     std::vector<std::tuple<int64_t, int64_t, double>> triplets;
     triplets.reserve(static_cast<size_t>(nnz) * (header.symmetric ? 2 : 1));
     for (int64_t k = 0; k < nnz; ++k) {
-      if (!std::getline(in, line)) {
+      if (!NextDataLine(in, &line)) {
         return Status::ParseError(StringFormat(
             "expected %lld entries, file ended after %lld",
             static_cast<long long>(nnz), static_cast<long long>(k)));

@@ -1,7 +1,8 @@
 #include "lang/lexer.h"
 
 #include <cctype>
-#include <cstdlib>
+#include <charconv>
+#include <system_error>
 
 #include "common/string_util.h"
 
@@ -102,9 +103,16 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
         ++j;
       }
       std::string text(source.substr(i, j - i));
-      char* endptr = nullptr;
-      const double value = std::strtod(text.c_str(), &endptr);
-      if (endptr == nullptr || *endptr != '\0') {
+      // std::from_chars, not strtod: strtod honors LC_NUMERIC, so a host
+      // locale with a comma decimal separator (de_DE, fr_FR...) would
+      // silently truncate "0.5" to 0. Script grammar is locale-invariant.
+      double value = 0.0;
+      const auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), value);
+      if (ec == std::errc::result_out_of_range) {
+        return error("number '" + text + "' is out of range");
+      }
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
         return error("malformed number '" + text + "'");
       }
       push(TokenKind::kNumber, std::move(text), value);

@@ -236,9 +236,17 @@ Status ExecuteCompiled(const CompiledProgram& optimized,
                               TraitsFor(config.engine));
     executor.set_count_input_partition(config.count_input_partition);
     if (!config.trace_path.empty()) executor.set_trace(&trace);
-    REMAC_RETURN_NOT_OK(executor.Run(optimized.statements, executed));
-    report->env = executor.env();
+    std::unique_ptr<FaultInjector> faults;
+    if (config.faults.enabled) {
+      faults = std::make_unique<FaultInjector>(config.faults);
+      executor.set_fault_injector(faults.get());
+    }
+    const Status run_status = executor.Run(optimized.statements, executed);
+    // The schedule report carries the fault/retry accounting, which
+    // callers (and the degradation path) want even when retries ran out.
     report->schedule = executor.schedule();
+    REMAC_RETURN_NOT_OK(run_status);
+    report->env = executor.env();
     if (!config.trace_path.empty()) {
       REMAC_RETURN_NOT_OK(trace.WriteChromeJson(config.trace_path));
     }

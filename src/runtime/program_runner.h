@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "baselines/engine_modes.h"
+#include "cluster/fault_plan.h"
 #include "cluster/transmission_ledger.h"
 #include "common/status.h"
 #include "core/adaptive_optimizer.h"
@@ -81,6 +82,10 @@ struct RunConfig {
   /// When non-empty (and scheduler == kTaskGraph), per-task trace events
   /// are written to this path as Chrome-trace JSON (chrome://tracing).
   std::string trace_path;
+  /// Deterministic fault injection (chaos runs). Only the task-graph
+  /// scheduler injects faults; the serial executor always runs fault-free
+  /// and serves as the reference (and degradation fallback) path.
+  FaultPlan faults;
 };
 
 struct RunReport {

@@ -1,7 +1,6 @@
 #include "sched/parallel_executor.h"
 
 #include <algorithm>
-#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -30,13 +29,24 @@ double TaskCostSeconds(const TransmissionLedger& ledger) {
 }  // namespace
 
 std::string ScheduleReport::ToString() const {
-  return StringFormat(
+  std::string out = StringFormat(
       "tasks=%lld edges=%lld pool_threads=%d workers=%d "
       "serial=%s critical_path=%s makespan=%s speedup=%.2fx",
       static_cast<long long>(tasks), static_cast<long long>(edges),
       pool_threads, modeled_workers, HumanSeconds(serial_seconds).c_str(),
       HumanSeconds(critical_path_seconds).c_str(),
       HumanSeconds(makespan_seconds).c_str(), Speedup());
+  if (chaos) {
+    out += StringFormat(
+        " faults=%lld (transient=%lld crash=%lld straggler=%lld) "
+        "retries=%lld exhausted=%lld wasted=%s backoff=%s",
+        static_cast<long long>(faults_injected),
+        static_cast<long long>(transients), static_cast<long long>(crashes),
+        static_cast<long long>(stragglers), static_cast<long long>(retries),
+        static_cast<long long>(exhausted), HumanSeconds(wasted_seconds).c_str(),
+        HumanSeconds(backoff_seconds).c_str());
+  }
+  return out;
 }
 
 double ListScheduleMakespan(const std::vector<std::vector<int>>& deps,
@@ -145,10 +155,33 @@ void ParallelExecutor::RecordTrace(const std::string& name,
 
 Status ParallelExecutor::Run(const std::vector<CompiledStmt>& statements,
                              int max_loop_iterations) {
-  REMAC_ASSIGN_OR_RETURN(
-      const ListTimes times,
+  Result<ListTimes> run =
       RunList(statements, max_loop_iterations, /*barrier_commit=*/false,
-              /*rand_base=*/0));
+              /*rand_base=*/0);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  if (faults_ != nullptr) {
+    // Published even when the run failed: an exhausted-retries error is
+    // exactly when the fault/retry counters matter most.
+    const FaultStats fs = faults_->stats();
+    schedule_.chaos = true;
+    schedule_.faults_injected = fs.injected;
+    schedule_.transients = fs.transients;
+    schedule_.crashes = fs.crashes;
+    schedule_.stragglers = fs.stragglers;
+    schedule_.retries = retries_.load(std::memory_order_relaxed);
+    schedule_.exhausted = exhausted_.load(std::memory_order_relaxed);
+    schedule_.wasted_seconds = wasted_seconds_.load(std::memory_order_relaxed);
+    schedule_.backoff_seconds =
+        backoff_seconds_.load(std::memory_order_relaxed);
+    registry.GetCounter("remac.retry.attempts")->Add(schedule_.retries);
+    registry.GetCounter("remac.retry.exhausted")->Add(schedule_.exhausted);
+    registry.GetGauge("remac.fault.wasted_seconds")
+        ->Add(schedule_.wasted_seconds);
+    registry.GetGauge("remac.retry.backoff_seconds")
+        ->Add(schedule_.backoff_seconds);
+  }
+  REMAC_RETURN_NOT_OK(run.status());
+  const ListTimes times = *run;
   schedule_.used = true;
   schedule_.pool_threads = pool_->size();
   schedule_.modeled_workers = std::max(1, model_.num_workers);
@@ -164,7 +197,6 @@ Status ParallelExecutor::Run(const std::vector<CompiledStmt>& statements,
   schedule_.makespan_seconds = std::clamp(
       schedule_.makespan_seconds + times.makespan_seconds,
       schedule_.critical_path_seconds, schedule_.serial_seconds);
-  MetricsRegistry& registry = MetricsRegistry::Global();
   registry.GetGauge("remac.sched.tasks")
       ->Add(static_cast<double>(schedule_.tasks));
   registry.GetGauge("remac.sched.edges")
@@ -257,30 +289,86 @@ Result<ParallelExecutor::ListTimes> ParallelExecutor::RunList(
       }
       const double start_us = trace_ != nullptr ? trace_->NowMicros() : 0.0;
       if (node.stmt->kind == CompiledStmt::Kind::kAssign) {
-        TransmissionLedger task_ledger(model_);
-        Executor executor =
-            MakeTaskExecutor(node.reads, &task_ledger, base);
-        Result<RtValue> value = executor.Eval(*node.stmt->plan);
-        if (!value.ok()) {
-          fail(value.status());
-        } else if (barrier_commit && !node.stmt->is_temp) {
-          staged[static_cast<size_t>(id)] =
-              std::make_unique<RtValue>(std::move(value).value());
-        } else {
-          StoreSet(node.stmt->target, std::move(value).value());
+        // Chaos runs retry failed attempts: every attempt re-evaluates
+        // from the same rand base with a fresh private ledger, so a
+        // retry's numerics are bitwise those of an undisturbed first
+        // attempt. Wasted attempts are still merged into the main
+        // ledger — a re-executed task costs the simulated cluster twice,
+        // the way Spark re-runs lost tasks from lineage.
+        const int max_attempts =
+            faults_ != nullptr ? faults_->plan().max_retries + 1 : 1;
+        const std::string task_key =
+            node.label + "#" + std::to_string(id);
+        double lost_cost = 0.0;  // wasted attempts + backoff + straggler drag
+        for (int attempt = 0; attempt < max_attempts; ++attempt) {
+          FaultDecision decision;
+          if (faults_ != nullptr) {
+            decision = faults_->Probe(task_key, attempt);
+            if (attempt > 0) retries_.fetch_add(1, std::memory_order_relaxed);
+          }
+          TransmissionLedger task_ledger(model_);
+          Executor executor =
+              MakeTaskExecutor(node.reads, &task_ledger, base);
+          Result<RtValue> value = executor.Eval(*node.stmt->plan);
+          if (value.ok() && decision.Fails()) {
+            // The attempt's work really ran before it was lost: book it,
+            // mark it wasted, and pay backoff (plus rescheduling for
+            // crashes) in simulated time before the retry.
+            const double cost = TaskCostSeconds(task_ledger);
+            double backoff = faults_->BackoffSeconds(attempt);
+            if (decision.kind == FaultKind::kWorkerCrash) {
+              backoff += faults_->plan().crash_recovery_seconds;
+            }
+            if (ledger_ != nullptr) {
+              ledger_->MergeFrom(task_ledger);
+              ledger_->AddWasted(task_ledger.TotalFlops(),
+                                 task_ledger.TotalBytes());
+              ledger_->AddRecoverySeconds(backoff);
+            }
+            AtomicAdd(wasted_seconds_, cost);
+            AtomicAdd(backoff_seconds_, backoff);
+            lost_cost += cost + backoff;
+            if (attempt == max_attempts - 1) {
+              exhausted_.fetch_add(1, std::memory_order_relaxed);
+              fail(Status::Unavailable(StringFormat(
+                  "task '%s' lost all %d attempts to injected faults "
+                  "(last: %s)",
+                  node.label.c_str(), max_attempts,
+                  FaultKindName(decision.kind))));
+            }
+            continue;
+          }
+          // Success, or a genuine evaluation error (never retried: a
+          // deterministic error would fail every attempt identically).
+          if (!value.ok()) {
+            fail(value.status());
+          } else if (barrier_commit && !node.stmt->is_temp) {
+            staged[static_cast<size_t>(id)] =
+                std::make_unique<RtValue>(std::move(value).value());
+          } else {
+            StoreSet(node.stmt->target, std::move(value).value());
+          }
+          ns.consumed.store(executor.rand_counter() - base,
+                            std::memory_order_release);
+          ops_executed_.fetch_add(executor.ops_executed(),
+                                  std::memory_order_relaxed);
+          double cost = TaskCostSeconds(task_ledger);
+          if (decision.kind == FaultKind::kStraggler) {
+            // Slow placement: the task's simulated duration stretches;
+            // the excess is recovery time, the numerics are untouched.
+            const double drag = (decision.slowdown - 1.0) * cost;
+            if (ledger_ != nullptr) ledger_->AddRecoverySeconds(drag);
+            cost *= decision.slowdown;
+          }
+          ns.cost_makespan = cost + lost_cost;
+          ns.cost_critical = cost + lost_cost;
+          AtomicAdd(serial_seconds_, cost + lost_cost);
+          if (ledger_ != nullptr) ledger_->MergeFrom(task_ledger);
+          RecordTrace(node.label, "task", start_us,
+                      trace_ != nullptr ? trace_->NowMicros() : 0.0,
+                      std::max(0.0, start_us - ns.ready_us), task_ledger);
+          break;
         }
-        ns.consumed.store(executor.rand_counter() - base,
-                          std::memory_order_release);
-        ops_executed_.fetch_add(executor.ops_executed(),
-                                std::memory_order_relaxed);
-        const double cost = TaskCostSeconds(task_ledger);
-        ns.cost_makespan = cost;
-        ns.cost_critical = cost;
-        AtomicAdd(serial_seconds_, cost);
-        if (ledger_ != nullptr) ledger_->MergeFrom(task_ledger);
-        RecordTrace(node.label, "task", start_us,
-                    trace_ != nullptr ? trace_->NowMicros() : 0.0,
-                    std::max(0.0, start_us - ns.ready_us), task_ledger);
       } else {
         Result<ListTimes> loop =
             RunLoop(*node.stmt, max_loop_iterations, base);
@@ -321,7 +409,10 @@ Result<ParallelExecutor::ListTimes> ParallelExecutor::RunList(
   }
   for (int id : initially_ready) submit(id);
   // Help drain the pool while waiting; keeps nested lists (loop bodies
-  // running on pool threads) deadlock-free at any pool size.
+  // running on pool threads) deadlock-free at any pool size. Once the
+  // pool has nothing runnable, every task of this list is either done or
+  // executing on another thread, so sleeping until the final task's
+  // notify (no timeout) cannot deadlock.
   while (true) {
     {
       std::lock_guard<std::mutex> lock(done_mu);
@@ -329,9 +420,8 @@ Result<ParallelExecutor::ListTimes> ParallelExecutor::RunList(
     }
     if (pool_->TryRunOne()) continue;
     std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait_for(lock, std::chrono::milliseconds(1),
-                     [&] { return outstanding == 0; });
-    if (outstanding == 0) break;
+    done_cv.wait(lock, [&] { return outstanding == 0; });
+    break;
   }
   if (failed.load(std::memory_order_acquire)) return first_error;
 

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/fault_plan.h"
 #include "runtime/executor.h"
 #include "sched/task_graph.h"
 #include "sched/thread_pool.h"
@@ -37,6 +38,17 @@ struct ScheduleReport {
   /// List-scheduled makespan over `modeled_workers`. Always within
   /// [critical_path_seconds, serial_seconds].
   double makespan_seconds = 0.0;
+
+  /// Chaos-run accounting (all zero when no FaultInjector is attached).
+  bool chaos = false;
+  int64_t faults_injected = 0;  // failing faults (transients + crashes)
+  int64_t transients = 0;
+  int64_t crashes = 0;
+  int64_t stragglers = 0;
+  int64_t retries = 0;    // re-executed attempts
+  int64_t exhausted = 0;  // tasks that ran out of retries
+  double wasted_seconds = 0.0;   // simulated cost of discarded attempts
+  double backoff_seconds = 0.0;  // simulated retry backoff + rescheduling
 
   double Speedup() const {
     return makespan_seconds > 0.0 ? serial_seconds / makespan_seconds : 1.0;
@@ -73,6 +85,11 @@ class ParallelExecutor {
   void set_count_input_partition(bool on) { count_input_partition_ = on; }
   /// Optional per-task trace sink (Chrome-trace events).
   void set_trace(TraceSink* trace) { trace_ = trace; }
+  /// Optional fault oracle for chaos runs. Failed attempts are retried
+  /// (up to the plan's max_retries) with their wasted work double-booked
+  /// into the ledger; results stay bitwise-identical to a fault-free run
+  /// whenever retries eventually succeed. Must outlive Run().
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
   /// Runs a statement list; semantics identical to Executor::Run.
   Status Run(const std::vector<CompiledStmt>& statements,
@@ -122,6 +139,7 @@ class ParallelExecutor {
   EngineTraits traits_;
   bool count_input_partition_ = false;
   TraceSink* trace_ = nullptr;
+  FaultInjector* faults_ = nullptr;
 
   mutable std::mutex env_mu_;
   std::map<std::string, RtValue> env_;
@@ -133,6 +151,10 @@ class ParallelExecutor {
   std::atomic<int64_t> edges_seen_{0};
   /// Serial-sum of leaf task costs (atomic double via CAS).
   std::atomic<double> serial_seconds_{0.0};
+  std::atomic<int64_t> retries_{0};
+  std::atomic<int64_t> exhausted_{0};
+  std::atomic<double> wasted_seconds_{0.0};
+  std::atomic<double> backoff_seconds_{0.0};
 };
 
 }  // namespace remac

@@ -1,7 +1,6 @@
 #include "sched/thread_pool.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "obs/metrics.h"
 
@@ -124,8 +123,13 @@ void ThreadPool::WorkerLoop(int index) {
       continue;
     }
     if (stop_.load(std::memory_order_acquire)) break;
+    // Signaled sleep, no timeout: Submit bumps pending_ and notifies
+    // under sleep_mu_, and the predicate re-checks it under the same
+    // mutex, so a wakeup can't slip between the empty-queue probe above
+    // and the wait below.
     std::unique_lock<std::mutex> lock(sleep_mu_);
-    sleep_cv_.wait_for(lock, std::chrono::milliseconds(50), [this] {
+    wait_wakeups_.fetch_add(1, std::memory_order_relaxed);
+    sleep_cv_.wait(lock, [this] {
       return stop_.load(std::memory_order_acquire) ||
              pending_.load(std::memory_order_acquire) > 0;
     });
@@ -177,10 +181,14 @@ void ThreadPool::RunAndWait(std::vector<std::function<void()>> tasks) {
       if (latch->remaining == 0) return;
     }
     if (TryRunOne()) continue;
+    // Every queue is empty, so the remaining sub-tasks are executing on
+    // other threads: sleep until the last one's notify instead of
+    // polling (the completion check runs under latch->mu, so the notify
+    // cannot be missed).
     std::unique_lock<std::mutex> lock(latch->mu);
-    latch->cv.wait_for(lock, std::chrono::milliseconds(1),
-                       [&] { return latch->remaining == 0; });
-    if (latch->remaining == 0) return;
+    wait_wakeups_.fetch_add(1, std::memory_order_relaxed);
+    latch->cv.wait(lock, [&] { return latch->remaining == 0; });
+    return;
   }
 }
 
@@ -191,6 +199,7 @@ PoolStats ThreadPool::stats() const {
   stats.steals = steals_.load(std::memory_order_relaxed);
   stats.peak_queue_depth =
       peak_queue_depth_.load(std::memory_order_relaxed);
+  stats.wait_wakeups = wait_wakeups_.load(std::memory_order_relaxed);
   return stats;
 }
 

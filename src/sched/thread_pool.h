@@ -23,6 +23,10 @@ struct PoolStats {
   int64_t steals = 0;
   /// Deepest any single worker deque has been at submission time.
   int64_t peak_queue_depth = 0;
+  /// Times a thread blocked on a pool condition variable (worker idle
+  /// sleeps + RunAndWait latch waits). Waits are signaled, not polled, so
+  /// this stays small even across long idle stretches — tests assert it.
+  int64_t wait_wakeups = 0;
 };
 
 /// \brief Persistent work-stealing thread pool.
@@ -78,6 +82,13 @@ class ThreadPool {
     return tasks_executed_.load(std::memory_order_relaxed);
   }
 
+  /// Tasks submitted but not yet popped by any thread. A saturation
+  /// signal: the plan service degrades to the serial executor when this
+  /// backs up far beyond the worker count.
+  int64_t pending() const {
+    return pending_.load(std::memory_order_acquire);
+  }
+
   /// Counter snapshot (tasks executed, steals, peak queue depth).
   PoolStats stats() const;
 
@@ -102,6 +113,7 @@ class ThreadPool {
   std::atomic<int64_t> tasks_executed_{0};
   std::atomic<int64_t> steals_{0};
   std::atomic<int64_t> peak_queue_depth_{0};
+  std::atomic<int64_t> wait_wakeups_{0};
 };
 
 }  // namespace remac

@@ -32,6 +32,8 @@ struct ServiceMetrics {
       MetricsRegistry::Global().GetHistogram("remac.service.cold_seconds");
   Histogram* build_seconds =
       MetricsRegistry::Global().GetHistogram("remac.service.build_seconds");
+  Counter* degraded =
+      MetricsRegistry::Global().GetCounter("remac.service.degraded");
 };
 
 ServiceMetrics& Metrics() {
@@ -213,10 +215,13 @@ Result<ServiceReport> PlanService::Run(const ServiceRequest& request) {
             if (flight->done) break;
           }
           if (!ThreadPool::Global().TryRunOne()) {
+            // Queues are dry: sleep until the leader's notify. The
+            // leader never needs this thread — its nested RunAndWait
+            // drains its own sub-tasks — so parking here cannot wedge
+            // the flight.
             std::unique_lock<std::mutex> lock(flight->mu);
-            flight->cv.wait_for(lock, std::chrono::milliseconds(1),
-                                [&] { return flight->done; });
-            if (flight->done) break;
+            flight->cv.wait(lock, [&] { return flight->done; });
+            break;
           }
         }
       } else {
@@ -242,9 +247,43 @@ Result<ServiceReport> PlanService::Run(const ServiceRequest& request) {
   ledger.AddCompilationSeconds(report.run.compile_wall_seconds);
   if (request.config.execute) {
     const auto execute_start = Clock::now();
-    REMAC_RETURN_NOT_OK(ExecuteCompiled(*plan->program, *catalog_,
-                                        request.config, &ledger,
-                                        &report.run));
+    // Degradation ladder: when the request can't (or shouldn't) take the
+    // task-graph path, fall back to the serial fault-free executor — a
+    // degraded response is slower but exact, never an error.
+    RunConfig exec = request.config;
+    auto degrade = [&](const char* reason) {
+      exec.scheduler = SchedulerKind::kSerial;
+      exec.faults.enabled = false;
+      report.degraded = true;
+      report.degraded_reason = reason;
+      degraded_requests_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().degraded->Add();
+    };
+    if (exec.scheduler == SchedulerKind::kTaskGraph) {
+      ThreadPool& pool = ThreadPool::Global();
+      if (request.deadline_seconds > 0.0 &&
+          SecondsSince(start) >= request.deadline_seconds) {
+        degrade("deadline");
+      } else if (options_.saturation_queue_factor > 0.0 &&
+                 static_cast<double>(pool.pending()) >=
+                     options_.saturation_queue_factor *
+                         static_cast<double>(pool.size())) {
+        degrade("pool-saturated");
+      }
+    }
+    Status executed = ExecuteCompiled(*plan->program, *catalog_, exec,
+                                      &ledger, &report.run);
+    if (!executed.ok() && executed.code() == StatusCode::kUnavailable &&
+        exec.scheduler == SchedulerKind::kTaskGraph) {
+      // A chaos run lost a task to injected faults more times than the
+      // retry budget allows. Re-run serially with faults off on the SAME
+      // ledger: the wasted double-booked work stays accounted, and the
+      // serial pass produces the exact result.
+      degrade("retries-exhausted");
+      executed = ExecuteCompiled(*plan->program, *catalog_, exec, &ledger,
+                                 &report.run);
+    }
+    REMAC_RETURN_NOT_OK(executed);
     report.timing.execute_seconds = SecondsSince(execute_start);
   }
   report.run.breakdown = ledger.Breakdown();
@@ -276,6 +315,8 @@ ServiceStats PlanService::stats() const {
       single_flight_waits_.load(std::memory_order_relaxed);
   stats.warm_requests = warm_requests_.load(std::memory_order_relaxed);
   stats.cold_requests = cold_requests_.load(std::memory_order_relaxed);
+  stats.degraded_requests =
+      degraded_requests_.load(std::memory_order_relaxed);
   stats.warm_seconds = warm_seconds_.load(std::memory_order_relaxed);
   stats.cold_seconds = cold_seconds_.load(std::memory_order_relaxed);
   return stats;

@@ -26,6 +26,11 @@ namespace remac {
 struct ServiceRequest {
   std::string source;
   RunConfig config;
+  /// Soft wall-clock budget for the request. When compilation (or queue
+  /// time) has already eaten the budget by the time execution starts, the
+  /// service degrades the run instead of failing it: serial executor,
+  /// faults off, result still exact. 0 disables the deadline.
+  double deadline_seconds = 0.0;
 };
 
 /// Per-request wall-clock split. On a warm hit parse covers only the
@@ -47,6 +52,12 @@ struct ServiceReport {
   bool shared_flight = false;
   std::string cache_key;
   RequestTiming timing;
+  /// The request fell back to the serial fault-free executor (deadline
+  /// pressure, pool saturation, or a chaos run that ran out of retries).
+  /// A degraded response is slower-but-correct, never wrong.
+  bool degraded = false;
+  /// Why: "deadline", "pool-saturated" or "retries-exhausted".
+  std::string degraded_reason;
 };
 
 struct ServiceStats {
@@ -58,6 +69,7 @@ struct ServiceStats {
   int64_t single_flight_waits = 0;
   int64_t warm_requests = 0;  // served from cache
   int64_t cold_requests = 0;  // optimized (or waited on an optimize)
+  int64_t degraded_requests = 0;  // fell back to the serial executor
   double warm_seconds = 0.0;  // summed request latency, warm
   double cold_seconds = 0.0;  // summed request latency, cold
 };
@@ -65,6 +77,11 @@ struct ServiceStats {
 struct ServiceOptions {
   size_t cache_capacity = 64;
   int cache_shards = 8;
+  /// Task-graph requests degrade to the serial executor when the shared
+  /// pool's backlog reaches `factor * pool size` pending tasks — adding
+  /// DAG fan-out to a saturated pool only deepens the queue. <= 0
+  /// disables the check.
+  double saturation_queue_factor = 8.0;
 };
 
 /// \brief Long-lived optimize-and-execute front end with a plan cache.
@@ -160,6 +177,7 @@ class PlanService {
   std::atomic<int64_t> single_flight_waits_{0};
   std::atomic<int64_t> warm_requests_{0};
   std::atomic<int64_t> cold_requests_{0};
+  std::atomic<int64_t> degraded_requests_{0};
   std::atomic<double> warm_seconds_{0.0};
   std::atomic<double> cold_seconds_{0.0};
 };

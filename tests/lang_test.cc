@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <string>
+
 #include "lang/lexer.h"
 #include "lang/parser.h"
 
@@ -65,6 +68,35 @@ TEST(Lexer, TracksLineNumbers) {
   ASSERT_TRUE(tokens.ok());
   EXPECT_EQ(tokens.value()[0].line, 1);
   EXPECT_EQ(tokens.value()[4].line, 2);
+}
+
+TEST(Lexer, OutOfRangeNumberIsAnError) {
+  auto tokens = Tokenize("a = 1e999;");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("out of range"),
+            std::string::npos);
+}
+
+TEST(Lexer, NumbersParseUnderCommaDecimalLocale) {
+  // strtod honors LC_NUMERIC: under a comma-decimal locale it reads
+  // "0.5" as 0 and leaves ".5" behind. The lexer must be locale-proof.
+  const std::string saved = std::setlocale(LC_NUMERIC, nullptr);
+  const char* locale = nullptr;
+  for (const char* candidate :
+       {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8", "fr_FR"}) {
+    if (std::setlocale(LC_NUMERIC, candidate) != nullptr) {
+      locale = candidate;
+      break;
+    }
+  }
+  if (locale == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed on this host";
+  }
+  auto tokens = Tokenize("x = 0.5 + 2.5e-1;");
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
+  EXPECT_DOUBLE_EQ(tokens.value()[2].number, 0.5);
+  EXPECT_DOUBLE_EQ(tokens.value()[4].number, 0.25);
 }
 
 TEST(Parser, PrecedenceMulOverAdd) {

@@ -176,6 +176,57 @@ TEST(MatrixMarket, PatternEntriesGetOnes) {
   EXPECT_DOUBLE_EQ(parsed->At(0, 1), 1.0);
 }
 
+TEST(MatrixMarket, CommentsAndBlanksInterleavedWithData) {
+  // The MatrixMarket spec allows '%' comments and blank lines anywhere
+  // after the banner, including between coordinate entries.
+  const std::string content =
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% leading comment\n"
+      "\n"
+      "3 3 3\n"
+      "1 1 1.0\n"
+      "\n"
+      "% mid-data comment\n"
+      "2 2 2.0\n"
+      "   \n"
+      "3 3 3.0\n"
+      "% trailing comment\n";
+  auto parsed = ParseMatrixMarket(content);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(parsed->At(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(parsed->At(2, 2), 3.0);
+  EXPECT_EQ(parsed->nnz(), 3);
+}
+
+TEST(MatrixMarket, SymmetricPatternWithInterleavedComments) {
+  const std::string content =
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 2\n"
+      "% off-diagonal, mirrored\n"
+      "2 1\n"
+      "\n"
+      "3 3\n";
+  auto parsed = ParseMatrixMarket(content);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->At(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(parsed->At(0, 1), 1.0);  // mirrored
+  EXPECT_DOUBLE_EQ(parsed->At(2, 2), 1.0);  // diagonal not duplicated
+  EXPECT_EQ(parsed->nnz(), 3);
+}
+
+TEST(MatrixMarket, HeaderAndCommentsOnlyReportsMissingSizeLine) {
+  const std::string content =
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% only comments follow\n"
+      "\n"
+      "% nothing else\n";
+  auto parsed = ParseMatrixMarket(content);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("missing size line"),
+            std::string::npos);
+}
+
 TEST(MatrixMarket, Errors) {
   EXPECT_FALSE(ParseMatrixMarket("").ok());
   EXPECT_FALSE(ParseMatrixMarket("garbage\n1 1 1\n").ok());

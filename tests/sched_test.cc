@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <set>
@@ -124,6 +125,27 @@ TEST(ThreadPool, StatsCountExecutionsStealsAndQueueDepth) {
   EXPECT_GE(stats.tasks_executed, kTasks + 1);
   EXPECT_GE(stats.steals, 1);
   EXPECT_GE(stats.peak_queue_depth, 2);
+}
+
+TEST(ThreadPool, IdleWaitsAreSignaledNotPolled) {
+  ThreadPool pool(1);
+  // The worker parks exactly once at startup. Parked waits are signaled
+  // (no timeout), so a long idle stretch adds zero wakeups — the old
+  // implementation re-woke every 50 ms to re-poll the queues.
+  while (pool.stats().wait_wakeups < 1) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_EQ(pool.stats().wait_wakeups, 1);
+
+  // RunAndWait's completion wait is signaled too: long-running tasks
+  // leave the waiters parked, not polling on a 1 ms timeout (which
+  // would rack up ~60 wakeups across this run).
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 2; ++i) {
+    tasks.push_back(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(60)); });
+  }
+  pool.RunAndWait(std::move(tasks));
+  EXPECT_LT(pool.stats().wait_wakeups, 10);
 }
 
 // ---------------------------------------------------------------------------

@@ -157,6 +157,74 @@ TEST(PlanCache, CostAwareEvictionKeepsExpensiveEntries) {
   EXPECT_EQ(cache.stats().evictions, 1);
 }
 
+TEST(PlanCache, CapacityOneAlwaysKeepsTheNewestEntry) {
+  // At capacity 1 the tail sample is exactly the displaced entry: the
+  // just-inserted plan must never be the victim, no matter how cheap.
+  PlanCache cache(1, /*shards=*/8);  // shard count clamps to capacity
+  EXPECT_EQ(cache.capacity(), 1u);
+  cache.Put("a", MakePlan(100.0));
+  cache.Put("b", MakePlan(0.001));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("b"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(PlanCache, CapacityTwoProtectsTheJustInsertedEntry) {
+  PlanCache cache(2, /*shards=*/1);
+  cache.Put("a", MakePlan(1.0));
+  cache.Put("b", MakePlan(50.0));
+  cache.Put("c", MakePlan(0.001));  // cheapest of all, but MRU
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Get("c"), nullptr);  // never sampled for eviction
+  EXPECT_NE(cache.Get("b"), nullptr);  // sticky: expensive to rebuild
+  EXPECT_EQ(cache.Get("a"), nullptr);
+}
+
+TEST(PlanCache, CapacityThreeEvictsCheapestOfTheTailSample) {
+  PlanCache cache(3, /*shards=*/1);
+  cache.Put("old-expensive", MakePlan(10.0));
+  cache.Put("mid-cheap", MakePlan(0.01));
+  cache.Put("newer", MakePlan(1.0));
+  cache.Put("newest", MakePlan(1.0));
+  // The tail sample holds {old-expensive, mid-cheap, newer}; the
+  // cheapest of them goes even though it is not the oldest.
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.Get("mid-cheap"), nullptr);
+  EXPECT_NE(cache.Get("old-expensive"), nullptr);
+  EXPECT_NE(cache.Get("newer"), nullptr);
+  EXPECT_NE(cache.Get("newest"), nullptr);
+}
+
+TEST(PlanCache, EvictionCounterInvariantUnderBurstInserts) {
+  // Distinct-key inserts conserve entries: everything ever Put is either
+  // still resident or counted as an eviction.
+  PlanCache cache(3, /*shards=*/1);
+  constexpr int kInserts = 50;
+  for (int i = 0; i < kInserts; ++i) {
+    cache.Put("k" + std::to_string(i), MakePlan(0.1 + (i % 7)));
+  }
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 3);
+  EXPECT_EQ(stats.evictions + stats.entries, kInserts);
+}
+
+TEST(PlanCache, PutReplaceNeitherEvictsNorGrows) {
+  PlanCache cache(2, /*shards=*/1);
+  cache.Put("a", MakePlan(1.0));
+  cache.Put("b", MakePlan(1.0));
+  cache.Put("a", MakePlan(9.0));  // replace in place, promote to MRU
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 0);
+  auto a = cache.Get("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_DOUBLE_EQ(a->build_wall_seconds, 9.0);
+  // The replace made "a" most-recent, so the next insert displaces "b".
+  cache.Put("c", MakePlan(1.0));
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+}
+
 TEST(PlanCache, EraseProgramDropsEveryBucketOfThatProgram) {
   PlanCache cache(8, /*shards=*/2);
   cache.Put("p1-bucketA", MakePlan(1.0, /*program_hash=*/11));

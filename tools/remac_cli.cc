@@ -26,6 +26,12 @@
 //                            service (run: opt-in; serve default 8)
 //   --cache-size N           plan-cache capacity in entries (default 64)
 //   --threads N              thread count for the shared pool
+//   --chaos SEED             chaos run: inject deterministic faults
+//                            (transients, stragglers, one worker crash)
+//                            into the task-graph scheduler; retries keep
+//                            results bitwise-identical to a fault-free run
+//   --deadline SEC           serve mode: per-request soft deadline; late
+//                            requests degrade to the serial executor
 //   --stats                  print the telemetry snapshot (metrics registry
 //                            plus the cost-model accuracy audit) at exit
 //   --metrics-out PATH       dump the metrics registry to PATH at exit
@@ -33,6 +39,7 @@
 //                            serve mode rewrites it after every request
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -58,6 +65,7 @@ int Usage() {
                "[--dataset NAME] [--optimizer KIND] [--estimator KIND] "
                "[--engine KIND] [--iterations N] [--print-plan] "
                "[--print VAR] [--repeat N] [--cache-size N] [--threads N] "
+               "[--chaos SEED] [--deadline SEC] "
                "[--stats] [--metrics-out PATH]\n"
                "       remac datasets\n"
                "       remac gen NAME OUT.mtx\n");
@@ -206,6 +214,7 @@ int Main(int argc, char** argv) {
   size_t cache_size = 64;
   bool show_stats = false;
   std::string metrics_out;
+  double deadline_seconds = 0.0;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -278,6 +287,24 @@ int Main(int argc, char** argv) {
       SetKernelThreads(threads);
       ThreadPool::SetGlobalThreads(threads);
       config.pool_threads = threads;
+    } else if (arg == "--chaos") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      config.faults = FaultPlan::Chaos(
+          static_cast<uint64_t>(std::strtoull(value, nullptr, 10)));
+      // Faults only exist on the task-graph path; the serial executor is
+      // the fault-free reference.
+      config.scheduler = SchedulerKind::kTaskGraph;
+      std::fprintf(stderr, "[remac] chaos: %s\n",
+                   config.faults.ToString().c_str());
+    } else if (arg == "--deadline") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      deadline_seconds = std::atof(value);
+      if (deadline_seconds <= 0.0) {
+        std::fprintf(stderr, "--deadline expects a positive number\n");
+        return 2;
+      }
     } else if (arg == "--stats") {
       show_stats = true;
     } else if (arg == "--metrics-out") {
@@ -319,7 +346,7 @@ int Main(int argc, char** argv) {
     ServiceOptions options;
     options.cache_capacity = cache_size;
     PlanService service(&catalog, options);
-    ServiceRequest request{source.str(), config};
+    ServiceRequest request{source.str(), config, deadline_seconds};
     Result<ServiceReport> last = Status::Internal("no requests ran");
     std::printf("serving %d request(s), cache capacity %zu\n", repeat,
                 cache_size);
@@ -332,12 +359,14 @@ int Main(int argc, char** argv) {
       }
       const ServiceReport& r = last.value();
       std::printf(
-          "#%-3d %-4s parse %-9s optimize %-9s execute %-9s total %s\n",
+          "#%-3d %-4s parse %-9s optimize %-9s execute %-9s total %s%s%s\n",
           k + 1, r.cache_hit ? "warm" : "cold",
           HumanSeconds(r.timing.parse_seconds).c_str(),
           HumanSeconds(r.timing.optimize_seconds).c_str(),
           HumanSeconds(r.timing.execute_seconds).c_str(),
-          HumanSeconds(r.timing.total_seconds).c_str());
+          HumanSeconds(r.timing.total_seconds).c_str(),
+          r.degraded ? "  DEGRADED: " : "",
+          r.degraded ? r.degraded_reason.c_str() : "");
       if (!metrics_out.empty()) {
         // Periodic dump: keep the file fresh while the service runs.
         (void)MetricsRegistry::Global().WriteToFile(metrics_out);
@@ -357,6 +386,10 @@ int Main(int argc, char** argv) {
     std::printf("optimizer invocations: %lld (of %lld requests)\n",
                 static_cast<long long>(stats.optimizer_invocations),
                 static_cast<long long>(stats.requests));
+    if (stats.degraded_requests > 0) {
+      std::printf("degraded requests: %lld\n",
+                  static_cast<long long>(stats.degraded_requests));
+    }
     const double cold_mean =
         stats.cold_requests > 0 ? stats.cold_seconds / stats.cold_requests
                                 : 0.0;
@@ -423,6 +456,9 @@ int Main(int argc, char** argv) {
   std::printf("\n");
   if (command == "run") {
     std::printf("simulated: %s\n", run->breakdown.ToString().c_str());
+    if (run->schedule.chaos) {
+      std::printf("chaos:     %s\n", run->schedule.ToString().c_str());
+    }
   }
   if (print_plan) {
     std::printf("--- optimized program ---\n%s", run->optimized_source.c_str());
