@@ -1,0 +1,271 @@
+// Kernel-layer micro-benchmark + regression gate (ISSUE 5).
+//
+// Measures the new cache-blocked GEMM against the naive reference and the
+// fused transpose-multiply against the pre-PR materialize-then-multiply
+// path on >= 1024^2 dense shapes, plus 1/2/8-thread scaling rows. Writes
+// BENCH_kernels.json to the working directory and exits non-zero when the
+// measured speedups fall below the gate thresholds, so scripts/check.sh
+// fails on kernel performance regressions:
+//   blocked GEMM  >= --min-gemm-speedup  (default 1.5) x naive
+//   fused AtB     >= --min-fused-speedup (default 1.3) x materialized
+// The fused comparison is against the pre-PR executor path (materialize
+// the transpose, then naive multiply); the JSON also reports the tougher
+// fused-vs-(transpose + blocked GEMM) ratio for transparency.
+//
+// This binary parses its own flags (it needs gate thresholds the shared
+// harness does not know about): --quick --json --threads=N
+// --min-gemm-speedup=X --min-fused-speedup=X.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "matrix/kernels.h"
+#include "obs/metrics.h"
+#include "sched/thread_pool.h"
+
+namespace remac {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  bool quick = false;
+  bool json = false;
+  int threads = 0;  // 0 = leave the hardware default
+  double min_gemm_speedup = 1.5;
+  double min_fused_speedup = 1.3;
+};
+
+Options ParseArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto double_flag = [&](const char* prefix, double* out) {
+      const size_t len = std::strlen(prefix);
+      if (!StartsWith(arg, prefix)) return false;
+      char* end = nullptr;
+      const double value = std::strtod(arg.c_str() + len, &end);
+      if (end == arg.c_str() + len || *end != '\0' || value <= 0.0) {
+        std::fprintf(stderr, "%s expects a positive number, got '%s'\n",
+                     prefix, arg.c_str() + len);
+        std::exit(2);
+      }
+      *out = value;
+      return true;
+    };
+    if (arg == "--quick") {
+      options.quick = true;
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (StartsWith(arg, "--threads=")) {
+      char* end = nullptr;
+      const long value = std::strtol(arg.c_str() + 10, &end, 10);
+      if (end == arg.c_str() + 10 || *end != '\0' || value <= 0) {
+        std::fprintf(stderr, "--threads expects a positive integer\n");
+        std::exit(2);
+      }
+      options.threads = static_cast<int>(value);
+    } else if (double_flag("--min-gemm-speedup=", &options.min_gemm_speedup) ||
+               double_flag("--min-fused-speedup=",
+                           &options.min_fused_speedup)) {
+      // handled
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s' (expected --quick, --json, "
+                   "--threads=N, --min-gemm-speedup=X, "
+                   "--min-fused-speedup=X)\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  if (options.threads > 0) {
+    SetKernelThreads(options.threads);
+    ThreadPool::SetGlobalThreads(options.threads);
+  }
+  if (options.json) {
+    std::atexit([] {
+      std::printf("{\"metrics\": %s}\n",
+                  MetricsRegistry::Global().ToJson().c_str());
+    });
+  }
+  return options;
+}
+
+Matrix DenseRandom(int64_t rows, int64_t cols, uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng.NextGaussian();
+  return Matrix::WrapDense(std::move(m));
+}
+
+/// Best-of-`reps` wall time of `fn` in seconds (min filters scheduler and
+/// allocator noise, the standard micro-bench reduction).
+template <typename Fn>
+double BestOf(int reps, Fn fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    fn();
+    const std::chrono::duration<double> elapsed = Clock::now() - start;
+    best = std::min(best, elapsed.count());
+  }
+  return best;
+}
+
+bool BitwiseEqualDense(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols() ||
+      a.is_dense() != b.is_dense() || !a.is_dense()) {
+    return false;
+  }
+  return a.dense().size() == 0 ||
+         std::memcmp(a.dense().data(), b.dense().data(),
+                     a.dense().size() * sizeof(double)) == 0;
+}
+
+int RunBench(const Options& options) {
+  // The gate shape stays >= 1024^2 even under --quick (the acceptance bar
+  // is defined on 1024^2 dense operands); --quick only trims repetitions
+  // and the thread-scaling shape.
+  const int64_t n = 1024;
+  const int reps = options.quick ? 2 : 4;
+
+  std::printf("bench_kernels: shape %lldx%lldx%lld dense, best of %d\n",
+              static_cast<long long>(n), static_cast<long long>(n),
+              static_cast<long long>(n), reps);
+
+  const Matrix a = DenseRandom(n, n, 101);
+  const Matrix b = DenseRandom(n, n, 102);
+
+  // --- 1. blocked GEMM vs naive reference -------------------------------
+  Matrix blocked_out = Multiply(a, b).value();  // warm-up + result capture
+  const double blocked_s = BestOf(reps, [&] { Multiply(a, b).value(); });
+  const Matrix naive_out = MultiplyReferenceNaive(a, b).value();
+  const double naive_s =
+      BestOf(reps, [&] { MultiplyReferenceNaive(a, b).value(); });
+  if (!BitwiseEqualDense(blocked_out, naive_out)) {
+    std::fprintf(stderr, "FATAL: blocked GEMM differs from naive\n");
+    return 1;
+  }
+  const double gemm_speedup = naive_s / blocked_s;
+  std::printf("  gemm: naive %.3fs  blocked %.3fs  speedup %.2fx (gate %.2fx)\n",
+              naive_s, blocked_s, gemm_speedup, options.min_gemm_speedup);
+
+  // --- 2. fused AtB vs materialize-then-multiply ------------------------
+  // `materialized_naive` is the pre-PR ExecMultiply path: copy t(A), then
+  // run the (then untiled) multiply. `materialized_blocked` re-bases the
+  // comparison on the new GEMM, isolating the win of skipping the copy.
+  const Matrix fused_out = MultiplyTransposed(a, true, b, false).value();
+  const double fused_s =
+      BestOf(reps, [&] { MultiplyTransposed(a, true, b, false).value(); });
+  const Matrix mat_out = Multiply(Transpose(a), b).value();
+  const double mat_naive_s = BestOf(
+      reps, [&] { MultiplyReferenceNaive(Transpose(a), b).value(); });
+  const double mat_blocked_s =
+      BestOf(reps, [&] { Multiply(Transpose(a), b).value(); });
+  if (!BitwiseEqualDense(fused_out, mat_out)) {
+    std::fprintf(stderr, "FATAL: fused AtB differs from materialized\n");
+    return 1;
+  }
+  const double fused_speedup = mat_naive_s / fused_s;
+  const double fused_vs_blocked = mat_blocked_s / fused_s;
+  std::printf(
+      "  fused AtB: materialized(naive) %.3fs  materialized(blocked) %.3fs  "
+      "fused %.3fs  speedup %.2fx (gate %.2fx)  vs-blocked %.2fx\n",
+      mat_naive_s, mat_blocked_s, fused_s, fused_speedup,
+      options.min_fused_speedup, fused_vs_blocked);
+
+  // --- 3. thread scaling (informational) --------------------------------
+  const int64_t sn = options.quick ? 512 : 1024;
+  const Matrix sa = DenseRandom(sn, sn, 103);
+  const Matrix sb = DenseRandom(sn, sn, 104);
+  struct ThreadRow {
+    int threads;
+    double blocked_s;
+    double fused_s;
+  };
+  std::vector<ThreadRow> rows;
+  const int saved_threads = options.threads;
+  for (int threads : {1, 2, 8}) {
+    SetKernelThreads(threads);
+    ThreadRow row;
+    row.threads = threads;
+    row.blocked_s = BestOf(reps, [&] { Multiply(sa, sb).value(); });
+    row.fused_s =
+        BestOf(reps, [&] { MultiplyTransposed(sa, true, sb, false).value(); });
+    rows.push_back(row);
+    std::printf("  threads=%d (%lld^3): blocked %.3fs  fused AtB %.3fs\n",
+                threads, static_cast<long long>(sn), row.blocked_s,
+                row.fused_s);
+  }
+  SetKernelThreads(saved_threads);  // 0 restores the hardware default
+
+  const bool gemm_ok = gemm_speedup >= options.min_gemm_speedup;
+  const bool fused_ok = fused_speedup >= options.min_fused_speedup;
+
+  // --- 4. BENCH_kernels.json --------------------------------------------
+  FILE* out = std::fopen("BENCH_kernels.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_kernels.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\"bench\": \"kernels\", \"shape\": %lld, \"reps\": %d,\n"
+               " \"gemm\": {\"naive_seconds\": %.9g, \"blocked_seconds\": "
+               "%.9g, \"speedup\": %.4g, \"min_required\": %.4g},\n"
+               " \"fused_atb\": {\"materialized_naive_seconds\": %.9g, "
+               "\"materialized_blocked_seconds\": %.9g, \"fused_seconds\": "
+               "%.9g, \"speedup_vs_materialized\": %.4g, "
+               "\"speedup_vs_materialized_blocked\": %.4g, "
+               "\"min_required\": %.4g},\n"
+               " \"thread_scaling_shape\": %lld,\n \"thread_scaling\": [",
+               static_cast<long long>(n), reps, naive_s, blocked_s,
+               gemm_speedup, options.min_gemm_speedup, mat_naive_s,
+               mat_blocked_s, fused_s, fused_speedup, fused_vs_blocked,
+               options.min_fused_speedup, static_cast<long long>(sn));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out,
+                 "%s{\"threads\": %d, \"blocked_seconds\": %.9g, "
+                 "\"fused_seconds\": %.9g}",
+                 i == 0 ? "" : ", ", rows[i].threads, rows[i].blocked_s,
+                 rows[i].fused_s);
+  }
+  std::fprintf(out, "],\n \"pass\": %s}\n",
+               gemm_ok && fused_ok ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote BENCH_kernels.json\n");
+
+  if (options.json) {
+    std::printf(
+        "{\"label\": \"kernels\", \"gemm_speedup\": %.4g, "
+        "\"fused_speedup\": %.4g, \"fused_vs_blocked\": %.4g, "
+        "\"pass\": %s}\n",
+        gemm_speedup, fused_speedup, fused_vs_blocked,
+        gemm_ok && fused_ok ? "true" : "false");
+  }
+
+  if (!gemm_ok) {
+    std::fprintf(stderr,
+                 "GATE FAIL: blocked GEMM speedup %.2fx < required %.2fx\n",
+                 gemm_speedup, options.min_gemm_speedup);
+  }
+  if (!fused_ok) {
+    std::fprintf(stderr,
+                 "GATE FAIL: fused AtB speedup %.2fx < required %.2fx\n",
+                 fused_speedup, options.min_fused_speedup);
+  }
+  return gemm_ok && fused_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace remac
+
+int main(int argc, char** argv) {
+  const remac::Options options = remac::ParseArgs(argc, argv);
+  return remac::RunBench(options);
+}

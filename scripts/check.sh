@@ -7,7 +7,10 @@
 #   asan        the same suites under AddressSanitizer
 #   ubsan       the same suites under UndefinedBehaviorSanitizer
 #   bench-smoke one quick benchmark with --json, validating the emitted
-#               metrics block against tools/metrics_manifest.txt
+#               metrics block against tools/metrics_manifest.txt, then the
+#               bench_kernels perf gate (blocked GEMM and fused
+#               transpose-multiply speedup floors; writes
+#               BENCH_kernels.json)
 #
 # Usage: scripts/check.sh [tsan-build-dir] [asan-build-dir] \
 #                         [bench-build-dir] [ubsan-build-dir]
@@ -85,7 +88,21 @@ bench_smoke_gate() {
   local out="$BENCH_DIR/bench_smoke.out"
   "$bin" --quick --json | tee "$out" || return 1
   python3 tools/validate_metrics.py --manifest tools/metrics_manifest.txt \
-    "$out"
+    "$out" || return 1
+  # Kernel perf gate: bench_kernels exits non-zero when the blocked GEMM
+  # or fused transpose-multiply speedup falls below its floor (the
+  # manifest validation above stays on bench_smoke output, which runs the
+  # full pipeline and therefore registers every manifest metric).
+  cmake --build "$BENCH_DIR" -j --target bench_kernels || return 1
+  local kbin="$BENCH_DIR/bench/bench_kernels"
+  if [[ ! -x "$kbin" ]]; then
+    kbin="$(find "$BENCH_DIR" -name bench_kernels -type f | head -1)"
+  fi
+  if [[ -z "$kbin" ]]; then
+    echo "error: bench_kernels binary not found under '$BENCH_DIR'" >&2
+    return 1
+  fi
+  "$kbin" --quick --json | tee "$BENCH_DIR/bench_kernels.out"
 }
 
 if sanitizer_gate ThreadSanitizer "$TSAN_DIR" thread TSAN_OPTIONS; then

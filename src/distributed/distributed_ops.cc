@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include <cstdio>
 #include <cstdlib>
@@ -218,16 +219,27 @@ MatInfo InfoOf(const Matrix& m, bool distributed) {
   return info;
 }
 
+/// Shape info of op(m) without materializing the transpose: sparsity is
+/// invariant under transposition, so only rows/cols swap. Keeps the cost
+/// model's inputs identical to the old materialize-then-cost path.
+MatInfo InfoOfTransposed(const Matrix& m, bool transposed, bool distributed) {
+  MatInfo info = InfoOf(m, distributed);
+  if (transposed) std::swap(info.rows, info.cols);
+  return info;
+}
+
 Result<DistValue> ExecMultiply(const Matrix& a, bool a_distributed,
                                bool a_transposed, const Matrix& b,
                                bool b_distributed, bool b_transposed,
                                const ClusterModel& model,
                                TransmissionLedger* ledger) {
-  const Matrix ea = a_transposed ? Transpose(a) : a;
-  const Matrix eb = b_transposed ? Transpose(b) : b;
-  REMAC_ASSIGN_OR_RETURN(Matrix out, Multiply(ea, eb));
+  // Fused kernels consume the transpose flags directly — no operand is
+  // ever materialized (remac.kernel.fused_transpose counts these).
+  REMAC_ASSIGN_OR_RETURN(
+      Matrix out, MultiplyTransposed(a, a_transposed, b, b_transposed));
   const OpCosting costing =
-      CostMultiply(InfoOf(ea, a_distributed), InfoOf(eb, b_distributed),
+      CostMultiply(InfoOfTransposed(a, a_transposed, a_distributed),
+                   InfoOfTransposed(b, b_transposed, b_distributed),
                    ActualSparsity(out), model);
   costing.Book(ledger);
   return DistValue{std::move(out), costing.result_distributed};

@@ -1,0 +1,148 @@
+#include "matrix/kernel_internal.h"
+
+#if REMAC_KERNEL_AVX2
+#include <immintrin.h>
+#endif
+
+namespace remac {
+namespace internal {
+
+bool KernelHasAvx2() {
+#if REMAC_KERNEL_AVX2
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+#else
+  return false;
+#endif
+}
+
+#if REMAC_KERNEL_AVX2
+// Compiled for AVX2 via the target attribute instead of a TU-wide flag,
+// so the rest of the file (and the whole build) keeps the baseline ISA
+// and the compiler cannot auto-contract anything into FMA elsewhere.
+// Separate mul + add intrinsics keep each lane's rounding identical to
+// the scalar `acc += v * b` it replaces; the v == 0.0 skip is preserved
+// per left value, so skipped terms never round -0.0 accumulators.
+__attribute__((target("avx2"))) void MicroKernel4x16Avx2(
+    const double* a0, const double* a1, const double* a2, const double* a3,
+    int64_t stride, int64_t j_count, const double* b, int64_t ldb, double* c0,
+    double* c1, double* c2, double* c3) {
+  __m256d acc[4][4];
+  for (int r = 0; r < 4; ++r) {
+    for (int q = 0; q < 4; ++q) acc[r][q] = _mm256_setzero_pd();
+  }
+  for (int64_t j = 0; j < j_count; ++j) {
+    const double* bj = b + j * ldb;
+    const __m256d b0 = _mm256_loadu_pd(bj);
+    const __m256d b1 = _mm256_loadu_pd(bj + 4);
+    const __m256d b2 = _mm256_loadu_pd(bj + 8);
+    const __m256d b3 = _mm256_loadu_pd(bj + 12);
+    const double vs[4] = {a0[j * stride], a1[j * stride], a2[j * stride],
+                          a3[j * stride]};
+    for (int r = 0; r < 4; ++r) {
+      const double v = vs[r];
+      if (v == 0.0) continue;
+      const __m256d vv = _mm256_set1_pd(v);
+      acc[r][0] = _mm256_add_pd(acc[r][0], _mm256_mul_pd(vv, b0));
+      acc[r][1] = _mm256_add_pd(acc[r][1], _mm256_mul_pd(vv, b1));
+      acc[r][2] = _mm256_add_pd(acc[r][2], _mm256_mul_pd(vv, b2));
+      acc[r][3] = _mm256_add_pd(acc[r][3], _mm256_mul_pd(vv, b3));
+    }
+  }
+  double* cs[4] = {c0, c1, c2, c3};
+  for (int r = 0; r < 4; ++r) {
+    for (int q = 0; q < 4; ++q) _mm256_storeu_pd(cs[r] + 4 * q, acc[r][q]);
+  }
+}
+#endif  // REMAC_KERNEL_AVX2
+
+DenseMatrix MultiplyDenseDenseNaive(const DenseMatrix& a,
+                                    const DenseMatrix& b) {
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  DenseMatrix c(m, n);
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* pc = c.data();
+  ParallelForRows(m, n * std::max<int64_t>(1, k), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      double* ci = pc + i * n;
+      const double* ai = pa + i * k;
+      for (int64_t j = 0; j < k; ++j) {
+        const double v = ai[j];
+        if (v == 0.0) continue;
+        const double* bj = pb + j * n;
+        for (int64_t x = 0; x < n; ++x) ci[x] += v * bj[x];
+      }
+    }
+  });
+  return c;
+}
+
+DenseMatrix MultiplyDenseDenseBlocked(const DenseMatrix& a,
+                                      const DenseMatrix& b) {
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  DenseMatrix c(m, n);
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* pc = c.data();
+  Metrics().gemm_blocked->Add();
+  const bool avx = KernelHasAvx2();
+  // Column panels keep the active B slab (k x panel doubles) L2 resident
+  // while the row blocks of this range sweep over it. The wider AVX2 tile
+  // amortizes each B load over 4 rows, so it tolerates a wider panel.
+  const int64_t panel = avx ? kGemmPanelCols : kGemmColBlock;
+  ParallelForRows(m, n * std::max<int64_t>(1, k), [&](int64_t r0, int64_t r1) {
+    for (int64_t x0 = 0; x0 < n; x0 += panel) {
+      const int64_t xe = std::min(n, x0 + panel);
+      int64_t i = r0;
+#if REMAC_KERNEL_AVX2
+      if (avx) {
+        for (; i + 4 <= r1; i += 4) {
+          const double* a0 = pa + i * k;
+          int64_t x = x0;
+          for (; x + 16 <= xe; x += 16) {
+            MicroKernel4x16Avx2(a0, a0 + k, a0 + 2 * k, a0 + 3 * k,
+                                /*stride=*/1, k, pb + x, n, pc + i * n + x,
+                                pc + (i + 1) * n + x, pc + (i + 2) * n + x,
+                                pc + (i + 3) * n + x);
+          }
+          for (; x < xe; ++x) {
+            for (int64_t r = 0; r < 4; ++r) {
+              pc[(i + r) * n + x] = DotStrided(a0 + r * k, 1, k, pb + x, n);
+            }
+          }
+        }
+      }
+#endif
+      // Scalar 2x8 path: all rows on non-AVX2 hardware, the <= 3
+      // trailing rows of the range otherwise.
+      for (; i + 2 <= r1; i += 2) {
+        const double* a0 = pa + i * k;
+        const double* a1 = a0 + k;
+        int64_t x = x0;
+        for (; x + 8 <= xe; x += 8) {
+          MicroKernel2x8(a0, a1, /*stride=*/1, k, pb + x, n, pc + i * n + x,
+                         pc + (i + 1) * n + x);
+        }
+        for (; x < xe; ++x) {
+          pc[i * n + x] = DotStrided(a0, 1, k, pb + x, n);
+          pc[(i + 1) * n + x] = DotStrided(a1, 1, k, pb + x, n);
+        }
+      }
+      if (i < r1) {  // odd trailing row of this range
+        const double* a0 = pa + i * k;
+        for (int64_t x = x0; x < xe; ++x) {
+          pc[i * n + x] = DotStrided(a0, 1, k, pb + x, n);
+        }
+      }
+    }
+  });
+  return c;
+}
+
+}  // namespace internal
+}  // namespace remac

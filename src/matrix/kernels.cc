@@ -10,84 +10,67 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "matrix/kernel_internal.h"
 #include "sched/thread_pool.h"
 
 namespace remac {
 
-namespace {
+namespace internal {
 
-std::atomic<int> g_kernel_threads{0};
-
-Status ShapeError(const char* op, const Matrix& a, const Matrix& b) {
-  return Status::DimensionMismatch(StringFormat(
-      "%s: (%lld x %lld) vs (%lld x %lld)", op,
-      static_cast<long long>(a.rows()), static_cast<long long>(a.cols()),
-      static_cast<long long>(b.rows()), static_cast<long long>(b.cols())));
-}
-
-/// Runs fn(first_row, last_row) across KernelThreads() workers on the
-/// shared scheduler pool. Chunk boundaries depend only on KernelThreads(),
-/// never on the pool size, so results are bitwise-identical no matter how
-/// many threads actually execute (and some kernels derive a worker index
-/// from r0 / chunk).
-void ParallelForRows(int64_t rows, const std::function<void(int64_t, int64_t)>& fn) {
+void ParallelForRows(int64_t rows, int64_t row_work,
+                     const std::function<void(int64_t, int64_t)>& fn) {
   const int threads = KernelThreads();
-  if (threads <= 1 || rows < 256) {
+  const int64_t total_work = rows * std::max<int64_t>(1, row_work);
+  if (threads <= 1 || rows <= 1 || total_work < kParallelGrainWork) {
     fn(0, rows);
     return;
   }
   const int64_t chunk = (rows + threads - 1) / threads;
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(static_cast<size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
+  const int task_count =
+      static_cast<int>((rows + chunk - 1) / std::max<int64_t>(1, chunk));
+  // Stable range records first, then one exactly-reserved task vector whose
+  // closures capture a single pointer each (fits the std::function small
+  // buffer — no per-task heap allocation).
+  struct RowRange {
+    const std::function<void(int64_t, int64_t)>* fn;
+    int64_t begin;
+    int64_t end;
+  };
+  std::vector<RowRange> ranges;
+  ranges.reserve(static_cast<size_t>(task_count));
+  for (int t = 0; t < task_count; ++t) {
     const int64_t begin = t * chunk;
     const int64_t end = std::min(rows, begin + chunk);
     if (begin >= end) break;
-    tasks.push_back([&fn, begin, end] { fn(begin, end); });
+    ranges.push_back(RowRange{&fn, begin, end});
   }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(ranges.size());
+  for (const RowRange& range : ranges) {
+    const RowRange* r = &range;
+    tasks.emplace_back([r] { (*r->fn)(r->begin, r->end); });
+  }
+  Metrics().parallel_tasks->Add(static_cast<int64_t>(tasks.size()));
   ThreadPool::Global().RunAndWait(std::move(tasks));
 }
 
-DenseMatrix MultiplyDenseDense(const DenseMatrix& a, const DenseMatrix& b) {
-  const int64_t m = a.rows();
-  const int64_t k = a.cols();
-  const int64_t n = b.cols();
-  DenseMatrix c(m, n);
-  const double* pa = a.data();
-  const double* pb = b.data();
-  double* pc = c.data();
-  ParallelForRows(m, [&](int64_t r0, int64_t r1) {
-    for (int64_t i = r0; i < r1; ++i) {
-      double* ci = pc + i * n;
-      const double* ai = pa + i * k;
-      for (int64_t j = 0; j < k; ++j) {
-        const double v = ai[j];
-        if (v == 0.0) continue;
-        const double* bj = pb + j * n;
-        for (int64_t x = 0; x < n; ++x) ci[x] += v * bj[x];
-      }
-    }
-  });
-  return c;
-}
+}  // namespace internal
 
-DenseMatrix MultiplySparseDense(const CsrMatrix& a, const DenseMatrix& b) {
-  const int64_t m = a.rows();
-  const int64_t n = b.cols();
-  DenseMatrix c(m, n);
-  const double* pb = b.data();
-  double* pc = c.data();
-  ParallelForRows(m, [&](int64_t r0, int64_t r1) {
-    for (int64_t i = r0; i < r1; ++i) {
-      double* ci = pc + i * n;
-      for (int64_t p = a.row_ptr()[i]; p < a.row_ptr()[i + 1]; ++p) {
-        const double v = a.values()[p];
-        const double* bj = pb + static_cast<int64_t>(a.col_idx()[p]) * n;
-        for (int64_t x = 0; x < n; ++x) ci[x] += v * bj[x];
-      }
-    }
-  });
-  return c;
+namespace {
+
+using internal::kReductionChunk;
+using internal::CsrRows;
+using internal::Metrics;
+using internal::MultiplyDenseDenseBlocked;
+using internal::MultiplyDenseDenseNaive;
+using internal::MultiplySparseDenseCore;
+using internal::MultiplySparseSparseCore;
+using internal::ParallelForRows;
+
+std::atomic<int> g_kernel_threads{0};
+
+Status ShapeError(const char* op, const Matrix& a, const Matrix& b) {
+  return internal::ShapeErrorDims(op, a.rows(), a.cols(), b.rows(), b.cols());
 }
 
 DenseMatrix MultiplyDenseSparse(const DenseMatrix& a, const CsrMatrix& b) {
@@ -97,7 +80,8 @@ DenseMatrix MultiplyDenseSparse(const DenseMatrix& a, const CsrMatrix& b) {
   DenseMatrix c(m, n);
   const double* pa = a.data();
   double* pc = c.data();
-  ParallelForRows(m, [&](int64_t r0, int64_t r1) {
+  const int64_t row_work = std::max<int64_t>(k, b.nnz());
+  ParallelForRows(m, row_work, [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
       double* ci = pc + i * n;
       const double* ai = pa + i * k;
@@ -110,67 +94,6 @@ DenseMatrix MultiplyDenseSparse(const DenseMatrix& a, const CsrMatrix& b) {
       }
     }
   });
-  return c;
-}
-
-CsrMatrix MultiplySparseSparse(const CsrMatrix& a, const CsrMatrix& b) {
-  // Gustavson's algorithm with a dense accumulator per output row.
-  const int64_t m = a.rows();
-  const int64_t n = b.cols();
-  std::vector<std::vector<int64_t>> row_ptr_parts;
-  CsrMatrix c(m, n);
-  auto& row_ptr = c.mutable_row_ptr();
-  // First pass per thread-range into local buffers, then stitch.
-  const int threads = std::max(1, KernelThreads());
-  const int64_t chunk = (m + threads - 1) / threads;
-  struct Part {
-    std::vector<int32_t> cols;
-    std::vector<double> vals;
-    std::vector<int64_t> row_nnz;
-  };
-  std::vector<Part> parts(static_cast<size_t>(threads));
-  ParallelForRows(m, [&](int64_t r0, int64_t r1) {
-    const int tid = static_cast<int>(r0 / std::max<int64_t>(1, chunk));
-    Part& part = parts[static_cast<size_t>(std::min(tid, threads - 1))];
-    std::vector<double> acc(static_cast<size_t>(n), 0.0);
-    std::vector<int32_t> touched;
-    for (int64_t i = r0; i < r1; ++i) {
-      touched.clear();
-      for (int64_t p = a.row_ptr()[i]; p < a.row_ptr()[i + 1]; ++p) {
-        const double va = a.values()[p];
-        const int64_t j = a.col_idx()[p];
-        for (int64_t q = b.row_ptr()[j]; q < b.row_ptr()[j + 1]; ++q) {
-          const int32_t col = b.col_idx()[q];
-          if (acc[col] == 0.0) touched.push_back(col);
-          acc[col] += va * b.values()[q];
-        }
-      }
-      std::sort(touched.begin(), touched.end());
-      int64_t nnz_row = 0;
-      for (int32_t col : touched) {
-        if (acc[col] != 0.0) {
-          part.cols.push_back(col);
-          part.vals.push_back(acc[col]);
-          ++nnz_row;
-        }
-        acc[col] = 0.0;
-      }
-      part.row_nnz.push_back(nnz_row);
-    }
-  });
-  // Stitch parts in row order.
-  auto& out_cols = c.mutable_col_idx();
-  auto& out_vals = c.mutable_values();
-  int64_t row = 0;
-  for (const Part& part : parts) {
-    for (int64_t nnz_row : part.row_nnz) {
-      row_ptr[row + 1] = row_ptr[row] + nnz_row;
-      ++row;
-    }
-    out_cols.insert(out_cols.end(), part.cols.begin(), part.cols.end());
-    out_vals.insert(out_vals.end(), part.vals.begin(), part.vals.end());
-  }
-  for (; row < m; ++row) row_ptr[row + 1] = row_ptr[row];
   return c;
 }
 
@@ -197,13 +120,29 @@ CsrMatrix TransposeCsr(const CsrMatrix& a) {
   return t;
 }
 
+/// Blocked transpose: the output is written row-contiguously in square
+/// tiles so both source and destination stay within a few cache lines per
+/// tile. Parallel over output rows; pure data movement, so there is no
+/// floating-point ordering to preserve.
 DenseMatrix TransposeDense(const DenseMatrix& a) {
-  DenseMatrix t(a.cols(), a.rows());
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    for (int64_t c = 0; c < a.cols(); ++c) {
-      t.At(c, r) = a.At(r, c);
+  const int64_t m = a.rows();
+  const int64_t n = a.cols();
+  DenseMatrix t(n, m);
+  const double* pa = a.data();
+  double* pt = t.data();
+  constexpr int64_t kTile = 32;
+  ParallelForRows(n, m, [&](int64_t r0, int64_t r1) {
+    for (int64_t c0 = r0; c0 < r1; c0 += kTile) {
+      const int64_t ce = std::min(r1, c0 + kTile);
+      for (int64_t b0 = 0; b0 < m; b0 += kTile) {
+        const int64_t be = std::min(m, b0 + kTile);
+        for (int64_t c = c0; c < ce; ++c) {
+          double* tr = pt + c * m;
+          for (int64_t r = b0; r < be; ++r) tr[r] = pa[r * n + c];
+        }
+      }
     }
-  }
+  });
   return t;
 }
 
@@ -214,6 +153,7 @@ Result<Matrix> ElementwiseBinary(const char* name, const Matrix& a,
   if (a.rows() != b.rows() || a.cols() != b.cols()) {
     return ShapeError(name, a, b);
   }
+  Metrics().elementwise_ops->Add();
   if (!a.is_dense() && !b.is_dense() && zero_zero_is_zero) {
     // Sparse-safe op: merge the two CSR row lists.
     const CsrMatrix& sa = a.csr();
@@ -249,9 +189,36 @@ Result<Matrix> ElementwiseBinary(const char* name, const Matrix& a,
   const DenseMatrix db = b.ToDense();
   double* pa = da.data();
   const double* pb = db.data();
-  const int64_t total = da.size();
-  for (int64_t i = 0; i < total; ++i) pa[i] = op(pa[i], pb[i]);
+  // Cells are independent: parallelize over flat element ranges with the
+  // shared element-count heuristic (rows=size, row_work=1).
+  ParallelForRows(da.size(), 1, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) pa[i] = op(pa[i], pb[i]);
+  });
   return Matrix::FromDense(std::move(da));
+}
+
+/// Deterministic chunked reduction: data is split into fixed-size chunks
+/// (independent of thread count), each chunk is summed serially in index
+/// order, and the per-chunk partials are folded in chunk order. The result
+/// therefore never depends on how many threads ran. `transform` maps each
+/// element before accumulation (identity for SumAll, square for the norm).
+template <typename Transform>
+double ChunkedReduce(const double* data, int64_t count, Transform transform) {
+  if (count == 0) return 0.0;
+  const int64_t chunks = (count + kReductionChunk - 1) / kReductionChunk;
+  std::vector<double> partials(static_cast<size_t>(chunks), 0.0);
+  ParallelForRows(chunks, kReductionChunk, [&](int64_t c0, int64_t c1) {
+    for (int64_t c = c0; c < c1; ++c) {
+      const int64_t begin = c * kReductionChunk;
+      const int64_t end = std::min(count, begin + kReductionChunk);
+      double s = 0.0;
+      for (int64_t i = begin; i < end; ++i) s += transform(data[i]);
+      partials[static_cast<size_t>(c)] = s;
+    }
+  });
+  double total = 0.0;
+  for (double p : partials) total += p;
+  return total;
 }
 
 }  // namespace
@@ -269,19 +236,31 @@ void SetKernelThreads(int threads) {
 
 Result<Matrix> Multiply(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows()) return ShapeError("multiply", a, b);
+  Metrics().multiplies->Add();
   if (a.is_dense() && b.is_dense()) {
-    return Matrix::FromDense(MultiplyDenseDense(a.dense(), b.dense()));
+    return Matrix::FromDense(MultiplyDenseDenseBlocked(a.dense(), b.dense()));
   }
   if (!a.is_dense() && b.is_dense()) {
-    return Matrix::FromDense(MultiplySparseDense(a.csr(), b.dense()));
+    return Matrix::FromDense(
+        MultiplySparseDenseCore(CsrRows(a.csr()), a.rows(), b.dense()));
   }
   if (a.is_dense() && !b.is_dense()) {
     return Matrix::FromDense(MultiplyDenseSparse(a.dense(), b.csr()));
   }
-  return Matrix::FromCsr(MultiplySparseSparse(a.csr(), b.csr()));
+  return Matrix::FromCsr(MultiplySparseSparseCore(
+      CsrRows(a.csr()), CsrRows(b.csr()), a.rows(), b.cols()));
+}
+
+Result<Matrix> MultiplyReferenceNaive(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) return ShapeError("multiply", a, b);
+  if (a.is_dense() && b.is_dense()) {
+    return Matrix::FromDense(MultiplyDenseDenseNaive(a.dense(), b.dense()));
+  }
+  return Multiply(a, b);
 }
 
 Matrix Transpose(const Matrix& a) {
+  Metrics().transposes->Add();
   if (a.is_dense()) return Matrix::WrapDense(TransposeDense(a.dense()));
   return Matrix::WrapCsr(TransposeCsr(a.csr()));
 }
@@ -312,45 +291,49 @@ Result<Matrix> ElementwiseDivide(const Matrix& a, const Matrix& b) {
 }
 
 Matrix ScalarMultiply(const Matrix& a, double s) {
+  Metrics().scalar_ops->Add();
   if (a.is_dense()) {
     DenseMatrix d = a.dense();
-    for (int64_t i = 0; i < d.size(); ++i) d.data()[i] *= s;
+    double* pd = d.data();
+    ParallelForRows(d.size(), 1, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) pd[i] *= s;
+    });
     return Matrix::FromDense(std::move(d));
   }
   CsrMatrix c = a.csr();
-  for (auto& v : c.mutable_values()) v *= s;
+  double* pv = c.mutable_values().data();
+  ParallelForRows(c.nnz(), 1, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) pv[i] *= s;
+  });
   return Matrix::FromCsr(std::move(c));
 }
 
 Matrix ScalarAdd(const Matrix& a, double s) {
+  Metrics().scalar_ops->Add();
   DenseMatrix d = a.ToDense();
-  for (int64_t i = 0; i < d.size(); ++i) d.data()[i] += s;
+  double* pd = d.data();
+  ParallelForRows(d.size(), 1, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) pd[i] += s;
+  });
   return Matrix::FromDense(std::move(d));
 }
 
 Matrix Negate(const Matrix& a) { return ScalarMultiply(a, -1.0); }
 
 double SumAll(const Matrix& a) {
-  double total = 0.0;
-  if (a.is_dense()) {
-    for (int64_t i = 0; i < a.dense().size(); ++i) total += a.dense().data()[i];
-  } else {
-    for (double v : a.csr().values()) total += v;
-  }
-  return total;
+  Metrics().reductions->Add();
+  const double* data =
+      a.is_dense() ? a.dense().data() : a.csr().values().data();
+  const int64_t count = a.is_dense() ? a.dense().size() : a.csr().nnz();
+  return ChunkedReduce(data, count, [](double v) { return v; });
 }
 
 double FrobeniusNorm(const Matrix& a) {
-  double total = 0.0;
-  if (a.is_dense()) {
-    for (int64_t i = 0; i < a.dense().size(); ++i) {
-      const double v = a.dense().data()[i];
-      total += v * v;
-    }
-  } else {
-    for (double v : a.csr().values()) total += v * v;
-  }
-  return std::sqrt(total);
+  Metrics().reductions->Add();
+  const double* data =
+      a.is_dense() ? a.dense().data() : a.csr().values().data();
+  const int64_t count = a.is_dense() ? a.dense().size() : a.csr().nnz();
+  return std::sqrt(ChunkedReduce(data, count, [](double v) { return v * v; }));
 }
 
 Result<int64_t> MultiplyNnzExact(const Matrix& a, const Matrix& b) {

@@ -16,6 +16,18 @@ namespace remac {
 /// C = A * B (matrix multiplication).
 Result<Matrix> Multiply(const Matrix& a, const Matrix& b);
 
+/// C = op(A) * op(B) where op is an optional transpose, computed without
+/// materializing either transposed operand (fused kernels; see
+/// docs/INTERNALS.md Section 12). Bitwise-identical to
+/// Multiply(Transpose(a), b) and friends.
+Result<Matrix> MultiplyTransposed(const Matrix& a, bool a_transposed,
+                                  const Matrix& b, bool b_transposed);
+
+/// Reference multiply: the pre-blocking naive i-j-x GEMM for dense-dense
+/// operands (other combos fall through to Multiply). Kept as the bitwise
+/// oracle for equivalence tests and as the bench_kernels baseline.
+Result<Matrix> MultiplyReferenceNaive(const Matrix& a, const Matrix& b);
+
 /// C = A^T.
 Matrix Transpose(const Matrix& a);
 
