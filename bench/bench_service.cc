@@ -9,7 +9,11 @@
 //      so warm latency is essentially pure execution;
 //   2. a mixed four-script workload (GD/DFP/BFGS/GNMF) driven through
 //      concurrent sessions at 1/2/8 pool threads;
-//   3. the final cache counters.
+//   3. cross-session intermediate reuse: distinct programs sharing one
+//      wide Gram chain, with the materialized-intermediate cache off
+//      (every session recomputes the chain) and on (computed once,
+//      served to the rest). The reuse speedup is a hard >= 2x gate —
+//      scripts/check.sh runs this benchmark and fails on regression.
 //
 // --json prints one machine-readable line per measurement and writes a
 // BENCH_service.json summary record for the perf trajectory.
@@ -206,7 +210,74 @@ int BenchServiceMain(int argc, char** argv) {
   }
   ThreadPool::SetGlobalThreads(0);
 
-  // --- 3. BENCH_service.json summary record -------------------------
+  // --- 3. cross-session intermediate reuse --------------------------
+  // Each "session" is a distinct program (distinct plan-cache key)
+  // sharing one wide Gram chain t(W) %*% W that dominates its runtime.
+  // With the matcache off every session recomputes the chain; with it
+  // on the first session computes and admits it, the rest are served.
+  DatasetSpec wide;
+  wide.name = "svcw";
+  wide.rows = options.quick ? 1200 : 2000;
+  wide.cols = options.quick ? 128 : 256;
+  wide.sparsity = 0.6;  // dense regime: the Gram is pure GEMM
+  wide.seed = 21;
+  if (Status st = RegisterDataset(&catalog, wide); !st.ok()) {
+    std::fprintf(stderr, "dataset error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  constexpr int kSessions = 6;
+  std::vector<std::string> sessions;
+  for (int k = 0; k < kSessions; ++k) {
+    sessions.push_back(
+        "g = t(read(\"svcw\")) %*% read(\"svcw\");\n"
+        "x = " + std::to_string(k + 1) + " * g;\n");
+  }
+  double no_reuse_wall = 0.0;
+  double reuse_wall = 0.0;
+  double hit_ratio = 0.0;
+  double flops_saved = 0.0;
+  for (const bool reuse : {false, true}) {
+    ServiceOptions so = service_options;
+    if (!reuse) so.mat_cache_bytes = 0;
+    PlanService service(&catalog, so);
+    const auto start = Clock::now();
+    for (const std::string& script : sessions) {
+      auto r = service.Run(ServiceRequest{script, ServiceConfig()});
+      if (!r.ok()) {
+        std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+    }
+    const double wall = SecondsSince(start);
+    const ServiceStats stats = service.stats();
+    if (reuse) {
+      reuse_wall = wall;
+      hit_ratio = stats.matcache.probes > 0
+                      ? static_cast<double>(stats.matcache.hits) /
+                            static_cast<double>(stats.matcache.probes)
+                      : 0.0;
+      flops_saved = stats.matcache.flops_saved;
+    } else {
+      no_reuse_wall = wall;
+    }
+  }
+  const double reuse_speedup =
+      reuse_wall > 0.0 ? no_reuse_wall / reuse_wall : 0.0;
+  std::printf("intermediate reuse: %d sessions, no-reuse %s, reuse %s "
+              "(%.1fx speedup, hit ratio %.2f, %.3g FLOPs saved)\n",
+              kSessions, HumanSeconds(no_reuse_wall).c_str(),
+              HumanSeconds(reuse_wall).c_str(), reuse_speedup, hit_ratio,
+              flops_saved);
+  if (options.json) {
+    std::printf("{\"bench\": \"service\", \"phase\": \"matcache\", "
+                "\"sessions\": %d, \"no_reuse_wall_seconds\": %.9g, "
+                "\"reuse_wall_seconds\": %.9g, \"reuse_speedup\": %.3f, "
+                "\"hit_ratio\": %.4f, \"flops_saved\": %.9g}\n",
+                kSessions, no_reuse_wall, reuse_wall, reuse_speedup,
+                hit_ratio, flops_saved);
+  }
+
+  // --- 4. BENCH_service.json summary record -------------------------
   if (options.json) {
     FILE* out = std::fopen("BENCH_service.json", "w");
     if (out == nullptr) {
@@ -231,9 +302,26 @@ int BenchServiceMain(int argc, char** argv) {
                    static_cast<long long>(p.misses),
                    static_cast<long long>(p.single_flight_waits));
     }
-    std::fprintf(out, "]}\n");
+    std::fprintf(out,
+                 "], \"matcache\": {\"sessions\": %d, "
+                 "\"no_reuse_wall_seconds\": %.9g, \"reuse_wall_seconds\": "
+                 "%.9g, \"reuse_speedup\": %.3f, \"hit_ratio\": %.4f, "
+                 "\"flops_saved\": %.9g}}\n",
+                 kSessions, no_reuse_wall, reuse_wall, reuse_speedup,
+                 hit_ratio, flops_saved);
     std::fclose(out);
     std::printf("wrote BENCH_service.json\n");
+  }
+
+  // The reuse gate: recomputing a shared chain in every session must be
+  // at least twice as slow as serving it from the matcache, or the
+  // redundancy-elimination story regressed.
+  if (reuse_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: intermediate-reuse speedup %.2fx below the 2.0x "
+                 "floor\n",
+                 reuse_speedup);
+    return 1;
   }
   return 0;
 }

@@ -4,9 +4,11 @@
 // tools/validate_metrics.py checks against tools/metrics_manifest.txt.
 
 #include <cstdio>
+#include <string>
 
 #include "algorithms/scripts.h"
 #include "bench/harness.h"
+#include "service/plan_service.h"
 
 using namespace remac;
 using namespace remac::bench;
@@ -58,5 +60,35 @@ int main(int argc, char** argv) {
               static_cast<long long>(c->schedule.faults_injected),
               static_cast<long long>(c->schedule.retries),
               Fmt(c->schedule.wasted_seconds).c_str());
+
+  // Serving pass: two requests through a PlanService so the plan-cache
+  // (remac.plancache.*) and materialized-intermediate (remac.matcache.*)
+  // metric families register and the manifest check covers them. The
+  // second request must hit both caches.
+  {
+    PlanService service(&SharedCatalog());
+    const std::string gram =
+        "g = t(read(\"smoke\")) %*% read(\"smoke\");\n";
+    for (int k = 0; k < 2; ++k) {
+      auto r = service.Run({gram, config});
+      if (!r.ok()) {
+        std::printf("ERROR serve pass: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      if (k == 1 && (!r->cache_hit || r->matcache.hits < 1)) {
+        std::printf("ERROR serve pass: warm request missed "
+                    "(plan hit=%d, intermediate hits=%lld)\n",
+                    r->cache_hit ? 1 : 0,
+                    static_cast<long long>(r->matcache.hits));
+        return 1;
+      }
+    }
+    const ServiceStats stats = service.stats();
+    std::printf("%-22s plan hits=%lld intermediate hits=%lld "
+                "resident=%lld B\n",
+                "gram (served)", static_cast<long long>(stats.cache.hits),
+                static_cast<long long>(stats.matcache.hits),
+                static_cast<long long>(stats.matcache.resident_bytes));
+  }
   return 0;
 }

@@ -10,7 +10,9 @@
 #               metrics block against tools/metrics_manifest.txt, then the
 #               bench_kernels perf gate (blocked GEMM and fused
 #               transpose-multiply speedup floors; writes
-#               BENCH_kernels.json)
+#               BENCH_kernels.json), then the bench_service
+#               intermediate-reuse gate (matcache serving >= 2x faster
+#               than per-session recompute; writes BENCH_service.json)
 #
 # Usage: scripts/check.sh [tsan-build-dir] [asan-build-dir] \
 #                         [bench-build-dir] [ubsan-build-dir]
@@ -27,7 +29,7 @@ TSAN_DIR="${1:-build-tsan}"
 ASAN_DIR="${2:-build-asan}"
 BENCH_DIR="${3:-build}"
 UBSAN_DIR="${4:-build-ubsan}"
-FILTER='ThreadPool.*:Ledger.*:TaskGraph.*:Sched*.*:Kernels*.*:Fingerprint*.*:PlanCache*.*:Service*.*:Obs*.*:Chaos*.*:Fault*.*'
+FILTER='ThreadPool.*:Ledger.*:TaskGraph.*:Sched*.*:Kernels*.*:Fingerprint*.*:PlanCache*.*:Service*.*:MatCache*.*:MatrixBytes.*:Obs*.*:Chaos*.*:Fault*.*'
 
 GATES=()
 RESULTS=()
@@ -102,7 +104,20 @@ bench_smoke_gate() {
     echo "error: bench_kernels binary not found under '$BENCH_DIR'" >&2
     return 1
   fi
-  "$kbin" --quick --json | tee "$BENCH_DIR/bench_kernels.out"
+  "$kbin" --quick --json | tee "$BENCH_DIR/bench_kernels.out" || return 1
+  # Intermediate-reuse perf gate: bench_service exits non-zero when
+  # serving a shared chain from the matcache is less than 2x faster than
+  # recomputing it per session (writes BENCH_service.json).
+  cmake --build "$BENCH_DIR" -j --target bench_service || return 1
+  local sbin="$BENCH_DIR/bench/bench_service"
+  if [[ ! -x "$sbin" ]]; then
+    sbin="$(find "$BENCH_DIR" -name bench_service -type f | head -1)"
+  fi
+  if [[ -z "$sbin" ]]; then
+    echo "error: bench_service binary not found under '$BENCH_DIR'" >&2
+    return 1
+  fi
+  "$sbin" --quick --json | tee "$BENCH_DIR/bench_service.out"
 }
 
 if sanitizer_gate ThreadSanitizer "$TSAN_DIR" thread TSAN_OPTIONS; then

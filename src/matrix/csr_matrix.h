@@ -40,6 +40,14 @@ class CsrMatrix {
     return nnz() * (8 + 4) + (rows_ + 1) * 8 + 16;
   }
 
+  /// Exact resident payload: values + column indices + row pointers as
+  /// actually allocated (no header estimate).
+  int64_t BytesUsed() const {
+    return static_cast<int64_t>(values_.size() * sizeof(double)) +
+           static_cast<int64_t>(col_idx_.size() * sizeof(int32_t)) +
+           static_cast<int64_t>(row_ptr_.size() * sizeof(int64_t));
+  }
+
   const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
   const std::vector<int32_t>& col_idx() const { return col_idx_; }
   const std::vector<double>& values() const { return values_; }

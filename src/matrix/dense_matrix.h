@@ -44,6 +44,12 @@ class DenseMatrix {
   /// Memory footprint of the dense representation in bytes.
   int64_t SizeInBytes() const { return rows_ * cols_ * 8 + 16; }
 
+  /// Exact resident payload: the value buffer only (no header estimate).
+  int64_t BytesUsed() const {
+    return static_cast<int64_t>(values_.size()) *
+           static_cast<int64_t>(sizeof(double));
+  }
+
   /// Element-wise equality within `tolerance`.
   bool ApproxEquals(const DenseMatrix& other, double tolerance = 1e-9) const;
 

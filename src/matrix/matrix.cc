@@ -79,6 +79,10 @@ int64_t Matrix::SizeInBytes() const {
   return is_dense() ? dense_->SizeInBytes() : csr_->SizeInBytes();
 }
 
+int64_t Matrix::BytesUsed() const {
+  return is_dense() ? dense_->BytesUsed() : csr_->BytesUsed();
+}
+
 const DenseMatrix& Matrix::dense() const {
   assert(is_dense());
   return *dense_;

@@ -53,6 +53,12 @@ class Matrix {
   /// In-memory footprint in the current format.
   int64_t SizeInBytes() const;
 
+  /// Exact resident footprint of the stored payload in its current
+  /// format: the dense value buffer, or the CSR value + column-index +
+  /// row-pointer arrays. The byte currency of the materialized
+  /// intermediate cache and resident-bytes accounting.
+  int64_t BytesUsed() const;
+
   /// The dense payload; requires is_dense().
   const DenseMatrix& dense() const;
   /// The sparse payload; requires !is_dense().

@@ -17,10 +17,17 @@ void DataCatalog::Register(const std::string& name, Matrix value) {
   stats.col_counts = csr.ColCounts();
   stats_[name] = std::move(stats);
   values_.insert_or_assign(name, std::move(value));
+  ++versions_[name];
 }
 
 void DataCatalog::RegisterStats(const std::string& name, MatrixStats stats) {
   stats_[name] = std::move(stats);
+  ++versions_[name];
+}
+
+int64_t DataCatalog::Version(const std::string& name) const {
+  auto it = versions_.find(name);
+  return it == versions_.end() ? 0 : it->second;
 }
 
 bool DataCatalog::Contains(const std::string& name) const {

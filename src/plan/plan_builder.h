@@ -42,11 +42,18 @@ class DataCatalog {
   Result<MatrixStats> Stats(const std::string& name) const;
   Result<Matrix> Value(const std::string& name) const;
 
+  /// Monotonic registration count of `name` (0 if never registered).
+  /// Every Register/RegisterStats bumps it, so value caches keyed on the
+  /// version can never serve a result computed from superseded data even
+  /// when the new data lands in the same dimensions and sparsity bucket.
+  int64_t Version(const std::string& name) const;
+
   std::vector<std::string> Names() const;
 
  private:
   std::map<std::string, MatrixStats> stats_;
   std::map<std::string, Matrix> values_;
+  std::map<std::string, int64_t> versions_;
 };
 
 /// One compiled statement: either an assignment of a plan tree to a

@@ -318,8 +318,13 @@ RtValue Executor::ApplyTraits(RtValue value) const {
 }
 
 Result<RtValue> Executor::Eval(const PlanNode& node) {
+  if (intermediates_ != nullptr) {
+    if (const RtValue* served = intermediates_->Lookup(&node)) return *served;
+  }
   REMAC_ASSIGN_OR_RETURN(RtValue value, EvalImpl(node));
-  return ApplyTraits(std::move(value));
+  value = ApplyTraits(std::move(value));
+  if (intermediates_ != nullptr) intermediates_->Offer(&node, value);
+  return value;
 }
 
 Result<RtValue> Executor::EvalImpl(const PlanNode& node) {

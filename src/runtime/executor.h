@@ -62,6 +62,30 @@ struct SharedDatasetSet {
   }
 };
 
+/// \brief Serving hook for materialized sub-plan results.
+///
+/// The service's matcache implements this to splice cached intermediates
+/// into plan evaluation without rewriting the (shared, immutable) plan
+/// trees: before evaluating a node the executor asks Lookup — a non-null
+/// result *is* the node's value and the subtree underneath is never
+/// walked (no FLOPs, no transmission booked, the runtime equivalent of
+/// rewriting the sub-plan into a cache read). After computing a node the
+/// executor calls Offer so the store can capture values it asked for.
+/// Implementations must be thread-safe: the task-graph path calls both
+/// hooks from concurrent per-task executors.
+class IntermediateStore {
+ public:
+  virtual ~IntermediateStore() = default;
+
+  /// The served value for this exact plan node, or null to evaluate it
+  /// normally. The pointer must stay valid for the execution's lifetime.
+  virtual const RtValue* Lookup(const PlanNode* node) = 0;
+
+  /// Offers a freshly computed node value (called for every evaluated
+  /// node; implementations filter by pointer identity).
+  virtual void Offer(const PlanNode* node, const RtValue& value) = 0;
+};
+
 /// \brief Executes compiled statements against the simulated cluster.
 ///
 /// Operators are computed for real with the local kernels while their
@@ -100,6 +124,13 @@ class Executor {
     shared_datasets_ = shared;
   }
 
+  /// Attaches a materialized-intermediate store (see IntermediateStore).
+  /// Null (the default) evaluates every node; behaviour is then bitwise
+  /// identical to builds without the hook.
+  void set_intermediate_store(IntermediateStore* store) {
+    intermediates_ = store;
+  }
+
   /// Position in the deterministic rand() stream. The task-graph
   /// executor re-bases each task to the offset the serial executor would
   /// have reached, so rand-using programs stay bitwise reproducible.
@@ -124,6 +155,7 @@ class Executor {
   std::map<std::string, RtValue> env_;
   std::map<std::string, bool> loaded_datasets_;
   SharedDatasetSet* shared_datasets_ = nullptr;
+  IntermediateStore* intermediates_ = nullptr;
   bool count_input_partition_ = false;
   int64_t ops_executed_ = 0;
   uint64_t rand_counter_ = 0;

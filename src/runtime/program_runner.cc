@@ -45,8 +45,6 @@ const char* SchedulerKindName(SchedulerKind kind) {
   return "?";
 }
 
-namespace {
-
 std::unique_ptr<SparsityEstimator> MakeEstimator(EstimatorKind kind,
                                                  const DataCatalog* catalog) {
   switch (kind) {
@@ -64,6 +62,8 @@ std::unique_ptr<SparsityEstimator> MakeEstimator(EstimatorKind kind,
   }
   return std::make_unique<MetadataEstimator>();
 }
+
+namespace {
 
 EliminationStrategy StrategyFor(OptimizerKind kind) {
   switch (kind) {
@@ -235,6 +235,7 @@ Status ExecuteCompiled(const CompiledProgram& optimized,
                               &ThreadPool::Global(),
                               TraitsFor(config.engine));
     executor.set_count_input_partition(config.count_input_partition);
+    executor.set_intermediate_store(config.intermediates);
     if (!config.trace_path.empty()) executor.set_trace(&trace);
     std::unique_ptr<FaultInjector> faults;
     if (config.faults.enabled) {
@@ -254,6 +255,7 @@ Status ExecuteCompiled(const CompiledProgram& optimized,
     Executor executor(config.cluster, &catalog, ledger,
                       TraitsFor(config.engine));
     executor.set_count_input_partition(config.count_input_partition);
+    executor.set_intermediate_store(config.intermediates);
     REMAC_RETURN_NOT_OK(executor.Run(optimized.statements, executed));
     report->env = executor.env();
   }

@@ -38,6 +38,13 @@ enum class EstimatorKind { kMetadata, kMnc, kSampling, kExact };
 
 const char* EstimatorKindName(EstimatorKind kind);
 
+/// Constructs the sparsity estimator a RunConfig selects (the exact
+/// estimator binds to `catalog`; the rest ignore it). Shared by the
+/// optimizer switch, the cost audit, and the materialized-intermediate
+/// cache's recompute-cost predictions.
+std::unique_ptr<SparsityEstimator> MakeEstimator(EstimatorKind kind,
+                                                 const DataCatalog* catalog);
+
 /// Which execution backend runs the optimized program.
 enum class SchedulerKind {
   kSerial,     // one statement at a time (the classic Executor)
@@ -86,6 +93,11 @@ struct RunConfig {
   /// scheduler injects faults; the serial executor always runs fault-free
   /// and serves as the reference (and degradation fallback) path.
   FaultPlan faults;
+  /// Optional materialized-intermediate store spliced into execution
+  /// (see IntermediateStore). Null keeps behaviour bitwise-identical to
+  /// builds without the hook. Must be thread-safe under kTaskGraph and
+  /// outlive ExecuteCompiled.
+  IntermediateStore* intermediates = nullptr;
 };
 
 struct RunReport {

@@ -127,6 +127,7 @@ Executor ParallelExecutor::MakeTaskExecutor(
   Executor executor(model_, catalog_, task_ledger, traits_);
   executor.set_count_input_partition(count_input_partition_);
   executor.set_shared_loaded_datasets(&datasets_);
+  executor.set_intermediate_store(intermediates_);
   executor.set_rand_counter(rand_base);
   std::lock_guard<std::mutex> lock(env_mu_);
   for (const std::string& name : reads) {

@@ -90,6 +90,12 @@ class ParallelExecutor {
   /// into the ledger; results stay bitwise-identical to a fault-free run
   /// whenever retries eventually succeed. Must outlive Run().
   void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+  /// Optional materialized-intermediate store, forwarded to every
+  /// per-task Executor (see IntermediateStore; must be thread-safe and
+  /// outlive Run()).
+  void set_intermediate_store(IntermediateStore* store) {
+    intermediates_ = store;
+  }
 
   /// Runs a statement list; semantics identical to Executor::Run.
   Status Run(const std::vector<CompiledStmt>& statements,
@@ -140,6 +146,7 @@ class ParallelExecutor {
   bool count_input_partition_ = false;
   TraceSink* trace_ = nullptr;
   FaultInjector* faults_ = nullptr;
+  IntermediateStore* intermediates_ = nullptr;
 
   mutable std::mutex env_mu_;
   std::map<std::string, RtValue> env_;

@@ -1,0 +1,303 @@
+#include "service/matcache/matcache.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace remac {
+
+namespace {
+
+/// Global mirrors of the per-instance counters (instances are the exact
+/// per-cache view; these aggregate across every cache).
+struct MatCacheMetrics {
+  Counter* probes =
+      MetricsRegistry::Global().GetCounter("remac.matcache.probes");
+  Counter* hits = MetricsRegistry::Global().GetCounter("remac.matcache.hits");
+  Counter* misses =
+      MetricsRegistry::Global().GetCounter("remac.matcache.misses");
+  Counter* admits =
+      MetricsRegistry::Global().GetCounter("remac.matcache.admits");
+  Counter* rejects =
+      MetricsRegistry::Global().GetCounter("remac.matcache.rejects");
+  Counter* evictions =
+      MetricsRegistry::Global().GetCounter("remac.matcache.evictions");
+  Counter* invalidations =
+      MetricsRegistry::Global().GetCounter("remac.matcache.invalidations");
+  Counter* flight_waits =
+      MetricsRegistry::Global().GetCounter("remac.matcache.flight_waits");
+  Gauge* entries =
+      MetricsRegistry::Global().GetGauge("remac.matcache.entries");
+  Gauge* resident_bytes =
+      MetricsRegistry::Global().GetGauge("remac.matcache.resident_bytes");
+  Gauge* flops_saved =
+      MetricsRegistry::Global().GetGauge("remac.matcache.flops_saved");
+};
+
+MatCacheMetrics& Metrics() {
+  static MatCacheMetrics metrics;
+  return metrics;
+}
+
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+/// Eviction score: recompute cost saved per resident byte, scaled by
+/// observed hits. Lowest score goes first.
+double BenefitScore(const MaterializedIntermediate& entry) {
+  const double bytes =
+      static_cast<double>(std::max<int64_t>(entry.bytes, 1));
+  const double uses =
+      1.0 +
+      static_cast<double>(entry.hits.load(std::memory_order_relaxed));
+  return entry.predicted_flops * uses / bytes;
+}
+
+}  // namespace
+
+MatCache::MatCache(MatCacheOptions options) : options_(options) {
+  const int64_t capacity = std::max<int64_t>(options_.capacity_bytes, 0);
+  const size_t n = static_cast<size_t>(
+      std::clamp<int>(options_.shards <= 0 ? 1 : options_.shards, 1, 64));
+  shards_.reserve(n);
+  const int64_t base = capacity / static_cast<int64_t>(n);
+  const int64_t rem = capacity % static_cast<int64_t>(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity_bytes =
+        base + (static_cast<int64_t>(i) < rem ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+MatCache::Shard& MatCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+int64_t MatCache::ProbeCount(const std::string& key) {
+  std::lock_guard<std::mutex> lock(ghost_mu_);
+  if (ghost_probes_.size() > kMaxGhostKeys) {
+    // Halve by dropping the low-frequency tail; exactness does not
+    // matter, the map only biases admission toward re-requested keys.
+    for (auto it = ghost_probes_.begin(); it != ghost_probes_.end();) {
+      it = it->second <= 1 ? ghost_probes_.erase(it) : std::next(it);
+    }
+  }
+  return ++ghost_probes_[key];
+}
+
+std::shared_ptr<const MaterializedIntermediate> MatCache::Get(
+    const std::string& key) {
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().probes->Add();
+  ProbeCount(key);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().misses->Add();
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().hits->Add();
+  it->second->value->hits.fetch_add(1, std::memory_order_relaxed);
+  return it->second->value;
+}
+
+std::list<MatCache::Entry>::iterator MatCache::RemoveLocked(
+    Shard* shard, std::list<Entry>::iterator it) {
+  shard->resident_bytes -= it->value->bytes;
+  Metrics().entries->Add(-1.0);
+  Metrics().resident_bytes->Add(-static_cast<double>(it->value->bytes));
+  shard->index.erase(it->key);
+  return shard->lru.erase(it);
+}
+
+void MatCache::EvictLocked(Shard* shard) {
+  while (shard->resident_bytes > shard->capacity_bytes &&
+         !shard->lru.empty()) {
+    // Sample the tail (up to 3 LRU entries, never the just-inserted MRU)
+    // and drop the lowest benefit — cost-aware LRU like the plan cache.
+    auto victim = std::prev(shard->lru.end());
+    auto candidate = victim;
+    for (int probe = 1; probe < 3; ++probe) {
+      if (candidate == shard->lru.begin()) break;
+      candidate = std::prev(candidate);
+      if (candidate == shard->lru.begin()) break;
+      if (BenefitScore(*candidate->value) < BenefitScore(*victim->value)) {
+        victim = candidate;
+      }
+    }
+    RemoveLocked(shard, victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().evictions->Add();
+  }
+}
+
+std::shared_ptr<const MaterializedIntermediate> MatCache::Offer(
+    const std::string& key, RtValue value, double predicted_flops,
+    std::vector<std::string> datasets) {
+  auto entry = std::make_shared<MaterializedIntermediate>();
+  entry->bytes = value.is_scalar
+                     ? static_cast<int64_t>(sizeof(double))
+                     : value.matrix.BytesUsed();
+  entry->value = std::move(value);
+  entry->predicted_flops = predicted_flops;
+  entry->datasets = std::move(datasets);
+
+  Shard& shard = ShardFor(key);
+  const bool fits =
+      entry->bytes <= shard.capacity_bytes && options_.capacity_bytes > 0;
+  bool admit = fits;
+  if (admit && options_.admit_flops_per_byte > 0.0) {
+    // Cost-aware admission: the predicted recompute work, amortized over
+    // how often this key has actually been asked for, must clear the
+    // per-byte bar. First-probe entries thus need to be FLOP-dense;
+    // re-requested ones earn residency at lower density.
+    int64_t observed = 0;
+    {
+      std::lock_guard<std::mutex> lock(ghost_mu_);
+      auto it = ghost_probes_.find(key);
+      observed = it == ghost_probes_.end() ? 1 : it->second;
+    }
+    admit = entry->predicted_flops * static_cast<double>(observed) >=
+            options_.admit_flops_per_byte *
+                static_cast<double>(std::max<int64_t>(entry->bytes, 1));
+  }
+  if (!admit) {
+    rejects_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().rejects->Add();
+    return entry;  // still published to followers, just not resident
+  }
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) RemoveLocked(&shard, it->second);
+  shard.lru.push_front(Entry{key, entry});
+  shard.index[key] = shard.lru.begin();
+  shard.resident_bytes += entry->bytes;
+  admits_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().admits->Add();
+  Metrics().entries->Add(1.0);
+  Metrics().resident_bytes->Add(static_cast<double>(entry->bytes));
+  EvictLocked(&shard);
+  return entry;
+}
+
+int MatCache::EraseDatasets(const std::vector<std::string>& names) {
+  int dropped = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      const bool stale = std::any_of(
+          it->value->datasets.begin(), it->value->datasets.end(),
+          [&](const std::string& ds) {
+            return std::find(names.begin(), names.end(), ds) != names.end();
+          });
+      if (stale) {
+        it = RemoveLocked(shard.get(), it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+  Metrics().invalidations->Add(dropped);
+  return dropped;
+}
+
+std::pair<std::shared_ptr<MatCache::Flight>, bool> MatCache::JoinFlight(
+    const std::string& key) {
+  if (!options_.single_flight) return {nullptr, true};
+  std::lock_guard<std::mutex> lock(flights_mu_);
+  auto it = flights_.find(key);
+  if (it != flights_.end()) return {it->second, false};
+  auto flight = std::make_shared<Flight>();
+  flights_.emplace(key, flight);
+  return {flight, true};
+}
+
+void MatCache::CompleteFlight(
+    const std::string& key,
+    std::shared_ptr<const MaterializedIntermediate> served) {
+  std::shared_ptr<Flight> flight;
+  {
+    std::lock_guard<std::mutex> lock(flights_mu_);
+    auto it = flights_.find(key);
+    if (it == flights_.end()) return;
+    flight = it->second;
+    flights_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->done = true;
+    flight->served = std::move(served);
+  }
+  flight->cv.notify_all();
+}
+
+void MatCache::CancelFlight(const std::string& key) {
+  CompleteFlight(key, nullptr);
+}
+
+std::shared_ptr<const MaterializedIntermediate> MatCache::WaitFlight(
+    Flight* flight) {
+  std::unique_lock<std::mutex> lock(flight->mu);
+  flight->cv.wait(lock, [&] { return flight->done; });
+  return flight->served;
+}
+
+void MatCache::RecordFlightWait() {
+  flight_waits_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().flight_waits->Add();
+}
+
+void MatCache::RecordFlopsSaved(double flops) {
+  AtomicAdd(&flops_saved_, flops);
+  Metrics().flops_saved->Add(flops);
+}
+
+MatCacheStats MatCache::stats() const {
+  MatCacheStats stats;
+  stats.probes = probes_.load(std::memory_order_relaxed);
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.admits = admits_.load(std::memory_order_relaxed);
+  stats.rejects = rejects_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  stats.flight_waits = flight_waits_.load(std::memory_order_relaxed);
+  stats.entries = static_cast<int64_t>(size());
+  stats.resident_bytes = resident_bytes();
+  stats.flops_saved = flops_saved_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+int64_t MatCache::resident_bytes() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->resident_bytes;
+  }
+  return total;
+}
+
+size_t MatCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace remac

@@ -1,0 +1,197 @@
+#ifndef REMAC_SERVICE_MATCACHE_MATCACHE_H_
+#define REMAC_SERVICE_MATCACHE_MATCACHE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/executor.h"
+
+namespace remac {
+
+/// \brief One materialized sub-plan result held by the matcache.
+///
+/// Immutable once inserted. Served requests pin the entry with a
+/// shared_ptr, so eviction never invalidates a value an in-flight
+/// execution is reading.
+struct MaterializedIntermediate {
+  RtValue value;
+  /// Exact resident footprint of the value (Matrix::BytesUsed), the
+  /// cache's byte-budget currency.
+  int64_t bytes = 0;
+  /// Predicted FLOPs to recompute the sub-plan — the benefit side of
+  /// admission and eviction scoring.
+  double predicted_flops = 0.0;
+  /// Datasets the sub-plan reads; dataset-level invalidation drops every
+  /// entry whose set intersects the changed names.
+  std::vector<std::string> datasets;
+  /// Times this entry was served (relaxed; eviction scoring only).
+  mutable std::atomic<int64_t> hits{0};
+};
+
+struct MatCacheOptions {
+  /// Total byte budget across shards. 0 disables the cache entirely
+  /// (every Get misses, every Admit rejects).
+  int64_t capacity_bytes = 256ll << 20;
+  int shards = 8;
+  /// Admission threshold: admit a computed value only when
+  ///   predicted_flops * observed_probes(key) >=
+  ///       admit_flops_per_byte * bytes.
+  /// Probes count every Get for the key (a ghost-frequency map), so an
+  /// intermediate nobody asked for twice must be proportionally cheap
+  /// per byte to earn residency. 0 admits everything that fits.
+  double admit_flops_per_byte = 0.0;
+  /// Single-flight: concurrent misses on one key compute once, the rest
+  /// wait for the leader's result (see MatExecContext).
+  bool single_flight = true;
+};
+
+struct MatCacheStats {
+  int64_t probes = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t admits = 0;
+  int64_t rejects = 0;
+  int64_t evictions = 0;
+  int64_t invalidations = 0;
+  int64_t flight_waits = 0;
+  int64_t entries = 0;
+  int64_t resident_bytes = 0;
+  /// Predicted FLOPs of every served hit — the recompute work the cache
+  /// eliminated across requests.
+  double flops_saved = 0.0;
+};
+
+/// \brief Sharded, byte-bounded, cost-aware cache of materialized
+/// sub-plan results (the cross-request redundancy store).
+///
+/// Keys are opaque strings built by IntermediateCacheKey. Eviction is
+/// benefit-aware LRU like the plan cache: when a shard overflows its
+/// byte budget, the least valuable of the few least-recently-used
+/// entries — scored by predicted recompute FLOPs, amortized hit count
+/// and footprint — is dropped first.
+///
+/// Single-flight bookkeeping lives here too (JoinFlight / WaitFlight /
+/// CompleteFlight / CancelFlight) so concurrent sessions missing on the
+/// same key compute the value once; the per-request leader/follower
+/// protocol is in exec_context.cc.
+class MatCache {
+ public:
+  explicit MatCache(MatCacheOptions options = {});
+
+  MatCache(const MatCache&) = delete;
+  MatCache& operator=(const MatCache&) = delete;
+
+  /// A computed value published to single-flight followers. `served`
+  /// stays null when the leader was cancelled before offering; followers
+  /// then recompute locally.
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const MaterializedIntermediate> served;
+  };
+
+  /// Returns the entry (promoting and pinning it) or null. Every call
+  /// counts a probe into the ghost-frequency map the admission policy
+  /// reads, whether or not the key is resident.
+  std::shared_ptr<const MaterializedIntermediate> Get(const std::string& key);
+
+  /// Offers a computed value. Applies the admission policy; admitted
+  /// values are inserted (evicting while over budget) and returned,
+  /// rejected values are wrapped and returned without insertion — the
+  /// caller still publishes them to single-flight followers. Oversized
+  /// values (larger than their shard's budget) are always rejected.
+  std::shared_ptr<const MaterializedIntermediate> Offer(
+      const std::string& key, RtValue value, double predicted_flops,
+      std::vector<std::string> datasets);
+
+  /// Drops every entry reading any of `names` (metadata or content of a
+  /// dataset changed). Returns the number dropped.
+  int EraseDatasets(const std::vector<std::string>& names);
+
+  /// Joins the single-flight for `key`: returns {flight, true} when this
+  /// caller is the first (the leader, expected to compute and
+  /// CompleteFlight) and {flight, false} for followers. With
+  /// single_flight disabled, returns {nullptr, true} — everyone
+  /// computes.
+  std::pair<std::shared_ptr<Flight>, bool> JoinFlight(const std::string& key);
+
+  /// Publishes the leader's value (post-admission entry) and wakes
+  /// followers.
+  void CompleteFlight(const std::string& key,
+                      std::shared_ptr<const MaterializedIntermediate> served);
+
+  /// Cancels a flight whose leader will never offer (request failed or
+  /// finished without evaluating the node — e.g. an early loop exit).
+  /// Followers wake and compute locally.
+  void CancelFlight(const std::string& key);
+
+  /// Blocks until `flight` completes; returns the served entry or null
+  /// if the flight was cancelled. Callers on the shared pool should help
+  /// drain it while waiting (exec_context.cc does).
+  std::shared_ptr<const MaterializedIntermediate> WaitFlight(Flight* flight);
+
+  /// Counts one flight wait (kept here so stats stay in one place).
+  void RecordFlightWait();
+  /// Credits a served hit's predicted recompute cost to flops_saved.
+  void RecordFlopsSaved(double flops);
+
+  MatCacheStats stats() const;
+  int64_t resident_bytes() const;
+  size_t size() const;
+  const MatCacheOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const MaterializedIntermediate> value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    int64_t capacity_bytes = 0;
+    int64_t resident_bytes = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  void EvictLocked(Shard* shard);
+  /// Removes the entry at `it` from `shard` (locked by the caller),
+  /// keeping byte accounting and gauges consistent.
+  std::list<Entry>::iterator RemoveLocked(Shard* shard,
+                                          std::list<Entry>::iterator it);
+  int64_t ProbeCount(const std::string& key);
+
+  MatCacheOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::mutex flights_mu_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+
+  /// Ghost frequency: probes per key, including misses, bounded by
+  /// dropping ~half the map when it outgrows kMaxGhostKeys.
+  static constexpr size_t kMaxGhostKeys = 4096;
+  std::mutex ghost_mu_;
+  std::unordered_map<std::string, int64_t> ghost_probes_;
+
+  mutable std::atomic<int64_t> probes_{0};
+  mutable std::atomic<int64_t> hits_{0};
+  mutable std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> admits_{0};
+  std::atomic<int64_t> rejects_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> invalidations_{0};
+  std::atomic<int64_t> flight_waits_{0};
+  std::atomic<double> flops_saved_{0.0};
+};
+
+}  // namespace remac
+
+#endif  // REMAC_SERVICE_MATCACHE_MATCACHE_H_

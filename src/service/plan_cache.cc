@@ -22,6 +22,8 @@ struct CacheMetrics {
       MetricsRegistry::Global().GetCounter("remac.plancache.invalidations");
   Gauge* entries =
       MetricsRegistry::Global().GetGauge("remac.plancache.entries");
+  Gauge* resident_bytes =
+      MetricsRegistry::Global().GetGauge("remac.plancache.resident_bytes");
 };
 
 CacheMetrics& Metrics() {
@@ -29,7 +31,37 @@ CacheMetrics& Metrics() {
   return metrics;
 }
 
+int64_t ProgramNodeCount(const std::vector<CompiledStmt>& statements) {
+  int64_t nodes = 0;
+  for (const CompiledStmt& stmt : statements) {
+    if (stmt.plan != nullptr) nodes += CountNodes(*stmt.plan);
+    if (stmt.condition != nullptr) nodes += CountNodes(*stmt.condition);
+    nodes += ProgramNodeCount(stmt.body);
+  }
+  return nodes;
+}
+
 }  // namespace
+
+int64_t CachedPlan::EstimateResidentBytes() const {
+  int64_t bytes = static_cast<int64_t>(sizeof(CachedPlan));
+  bytes += static_cast<int64_t>(optimized_source.size());
+  bytes += static_cast<int64_t>(metadata_key.size());
+  if (program != nullptr) {
+    bytes += ProgramNodeCount(program->statements) *
+             static_cast<int64_t>(sizeof(PlanNode));
+  }
+  if (intermediates != nullptr) {
+    for (const SubplanCandidate& candidate : *intermediates) {
+      bytes += static_cast<int64_t>(sizeof(SubplanCandidate));
+      bytes += static_cast<int64_t>(candidate.window_key.size());
+      for (const std::string& name : candidate.datasets) {
+        bytes += static_cast<int64_t>(name.size());
+      }
+    }
+  }
+  return bytes;
+}
 
 PlanCache::PlanCache(size_t capacity, int shards)
     : capacity_(std::max<size_t>(capacity, 1)) {
@@ -79,27 +111,44 @@ void PlanCache::EvictLocked(Shard* shard) {
         victim = candidate;
       }
     }
-    shard->index.erase(victim->key);
-    shard->lru.erase(victim);
+    DropLocked(shard, victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
     Metrics().evictions->Add();
-    Metrics().entries->Add(-1.0);
   }
+}
+
+std::list<PlanCache::Entry>::iterator PlanCache::DropLocked(
+    Shard* shard, std::list<Entry>::iterator it) {
+  resident_bytes_.fetch_sub(it->bytes, std::memory_order_relaxed);
+  Metrics().entries->Add(-1.0);
+  Metrics().resident_bytes->Add(-static_cast<double>(it->bytes));
+  shard->index.erase(it->key);
+  return shard->lru.erase(it);
 }
 
 void PlanCache::Put(const std::string& key,
                     std::shared_ptr<const CachedPlan> plan) {
+  const int64_t bytes = plan->resident_bytes > 0
+                            ? plan->resident_bytes
+                            : plan->EstimateResidentBytes();
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
+    resident_bytes_.fetch_add(bytes - it->second->bytes,
+                              std::memory_order_relaxed);
+    Metrics().resident_bytes->Add(
+        static_cast<double>(bytes - it->second->bytes));
     it->second->plan = std::move(plan);
+    it->second->bytes = bytes;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.lru.push_front(Entry{key, std::move(plan)});
+  shard.lru.push_front(Entry{key, std::move(plan), bytes});
   shard.index[key] = shard.lru.begin();
+  resident_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   Metrics().entries->Add(1.0);
+  Metrics().resident_bytes->Add(static_cast<double>(bytes));
   EvictLocked(&shard);
 }
 
@@ -108,9 +157,7 @@ bool PlanCache::Erase(const std::string& key) {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) return false;
-  shard.lru.erase(it->second);
-  shard.index.erase(it);
-  Metrics().entries->Add(-1.0);
+  DropLocked(&shard, it->second);
   return true;
 }
 
@@ -120,8 +167,7 @@ int PlanCache::ErasePlansForProgram(uint64_t program_hash) {
     std::lock_guard<std::mutex> lock(shard->mu);
     for (auto it = shard->lru.begin(); it != shard->lru.end();) {
       if (it->plan->program_hash == program_hash) {
-        shard->index.erase(it->key);
-        it = shard->lru.erase(it);
+        it = DropLocked(shard.get(), it);
         ++dropped;
       } else {
         ++it;
@@ -130,7 +176,6 @@ int PlanCache::ErasePlansForProgram(uint64_t program_hash) {
   }
   invalidations_.fetch_add(dropped, std::memory_order_relaxed);
   Metrics().invalidations->Add(dropped);
-  Metrics().entries->Add(-static_cast<double>(dropped));
   return dropped;
 }
 
@@ -141,6 +186,7 @@ PlanCacheStats PlanCache::stats() const {
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   stats.invalidations = invalidations_.load(std::memory_order_relaxed);
   stats.entries = static_cast<int64_t>(size());
+  stats.resident_bytes = resident_bytes();
   return stats;
 }
 

@@ -12,6 +12,7 @@
 
 #include "core/adaptive_optimizer.h"
 #include "plan/plan_builder.h"
+#include "service/matcache/intermediate_key.h"
 
 namespace remac {
 
@@ -32,6 +33,17 @@ struct CachedPlan {
   uint64_t program_hash = 0;
   /// The input-metadata bucket this plan was optimized for.
   std::string metadata_key;
+  /// Cacheable sub-plans of `program` (see matcache/intermediate_key.h),
+  /// extracted once at build time; every request executing this plan
+  /// probes them against the service's materialized-intermediate cache.
+  /// Node pointers reference `program`'s shared trees.
+  std::shared_ptr<const std::vector<SubplanCandidate>> intermediates;
+  /// Approximate resident footprint of this entry (plan trees, sources,
+  /// candidate keys), computed once at insertion.
+  int64_t resident_bytes = 0;
+
+  /// Estimates `resident_bytes` from the entry's actual contents.
+  int64_t EstimateResidentBytes() const;
 };
 
 struct PlanCacheStats {
@@ -41,6 +53,9 @@ struct PlanCacheStats {
   /// Entries dropped by ErasePlansForProgram (metadata left the bucket).
   int64_t invalidations = 0;
   int64_t entries = 0;
+  /// Summed CachedPlan::resident_bytes of live entries — real byte
+  /// accounting instead of the old entry-count-only view.
+  int64_t resident_bytes = 0;
 };
 
 /// \brief Sharded, thread-safe LRU cache of optimized programs.
@@ -78,11 +93,17 @@ class PlanCache {
   PlanCacheStats stats() const;
   size_t size() const;
   size_t capacity() const { return capacity_; }
+  int64_t resident_bytes() const {
+    return resident_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Entry {
     std::string key;
     std::shared_ptr<const CachedPlan> plan;
+    /// Byte footprint charged for this entry (fixed at insertion so the
+    /// removal credit always matches).
+    int64_t bytes = 0;
   };
   struct Shard {
     mutable std::mutex mu;
@@ -94,6 +115,10 @@ class PlanCache {
   Shard& ShardFor(const std::string& key);
   /// Evicts from `shard` (locked by the caller) until within budget.
   void EvictLocked(Shard* shard);
+  /// Removes the entry at `it` from `shard` (locked by the caller),
+  /// keeping byte accounting and gauges consistent.
+  std::list<Entry>::iterator DropLocked(Shard* shard,
+                                        std::list<Entry>::iterator it);
 
   size_t capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -101,6 +126,7 @@ class PlanCache {
   mutable std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> evictions_{0};
   std::atomic<int64_t> invalidations_{0};
+  std::atomic<int64_t> resident_bytes_{0};
 };
 
 }  // namespace remac

@@ -78,7 +78,13 @@ std::string PlanConfigDigest(const RunConfig& config) {
 PlanService::PlanService(const DataCatalog* catalog, ServiceOptions options)
     : catalog_(catalog),
       options_(options),
-      cache_(options.cache_capacity, options.cache_shards) {}
+      cache_(options.cache_capacity, options.cache_shards),
+      mat_cache_(MatCacheOptions{
+          .capacity_bytes = options.mat_cache_bytes,
+          .shards = options.mat_cache_shards,
+          .admit_flops_per_byte = options.mat_admit_flops_per_byte,
+          .single_flight = options.mat_single_flight,
+      }) {}
 
 Result<std::shared_ptr<const CachedPlan>> PlanService::BuildPlan(
     const ServiceRequest& request, uint64_t program_hash,
@@ -97,11 +103,48 @@ Result<std::shared_ptr<const CachedPlan>> PlanService::BuildPlan(
   timing->optimize_seconds += SecondsSince(optimize_start);
   plan.optimized_source = optimized.ToString();
   plan.program = std::make_shared<const CompiledProgram>(std::move(optimized));
+  if (options_.mat_cache_bytes > 0) {
+    // Extract the matcache candidates once per build against the final
+    // shared trees: node pointers stay valid for every request that
+    // executes this plan.
+    plan.intermediates =
+        std::make_shared<const std::vector<SubplanCandidate>>(
+            ExtractIntermediateCandidates(*plan.program, *catalog_,
+                                          request.config));
+  }
   plan.build_wall_seconds = SecondsSince(parse_start);
   Metrics().build_seconds->Observe(plan.build_wall_seconds);
   plan.program_hash = program_hash;
   plan.metadata_key = metadata_key;
+  plan.resident_bytes = plan.EstimateResidentBytes();
   return std::make_shared<const CachedPlan>(std::move(plan));
+}
+
+void PlanService::InvalidateChangedDatasets(
+    const std::vector<std::string>& names) {
+  // Strict per-dataset fragments: the plan-cache bucket fragment plus
+  // the registration version, so re-registered data invalidates even
+  // when it lands in the same dimensions and sparsity bucket.
+  std::vector<std::pair<std::string, std::string>> observed;
+  observed.reserve(names.size());
+  for (const std::string& name : names) {
+    Result<std::string> fragment = DatasetMetadataFragment(name, *catalog_);
+    if (!fragment.ok()) continue;  // missing datasets fail later, loudly
+    observed.emplace_back(
+        name, fragment.value() + StringFormat("v%lld", static_cast<long long>(
+                                                           catalog_->Version(
+                                                               name))));
+  }
+  std::vector<std::string> changed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, fragment] : observed) {
+      std::string& last = dataset_fragments_[name];
+      if (!last.empty() && last != fragment) changed.push_back(name);
+      last = std::move(fragment);
+    }
+  }
+  if (!changed.empty()) mat_cache_.EraseDatasets(changed);
 }
 
 Result<ServiceReport> PlanService::Run(const ServiceRequest& request) {
@@ -145,6 +188,10 @@ Result<ServiceReport> PlanService::Run(const ServiceRequest& request) {
     }
     last = metadata_key;
   }
+  // Dataset-level invalidation cascade: any referenced dataset whose
+  // metadata or registration version moved drops its materialized
+  // intermediates before this request probes the matcache.
+  InvalidateChangedDatasets(alias.datasets);
 
   report.cache_key =
       StringFormat("%016llx|", static_cast<unsigned long long>(
@@ -271,6 +318,18 @@ Result<ServiceReport> PlanService::Run(const ServiceRequest& request) {
         degrade("pool-saturated");
       }
     }
+    // Cross-request redundancy elimination: splice the materialized
+    // intermediate cache into this execution. Candidates were extracted
+    // at plan-build time; the per-request context probes them against
+    // the cache under the catalog's *current* metadata/versions, so a
+    // warm plan hit still sees fresh keys.
+    std::unique_ptr<MatExecContext> mat_context;
+    if (options_.mat_cache_bytes > 0 && plan->intermediates != nullptr &&
+        !plan->intermediates->empty()) {
+      mat_context = std::make_unique<MatExecContext>(
+          &mat_cache_, plan->intermediates, *catalog_, exec);
+      exec.intermediates = mat_context.get();
+    }
     Status executed = ExecuteCompiled(*plan->program, *catalog_, exec,
                                       &ledger, &report.run);
     if (!executed.ok() && executed.code() == StatusCode::kUnavailable &&
@@ -283,6 +342,9 @@ Result<ServiceReport> PlanService::Run(const ServiceRequest& request) {
       executed = ExecuteCompiled(*plan->program, *catalog_, exec, &ledger,
                                  &report.run);
     }
+    // The context's destructor cancels any flight it led but never
+    // offered (failed executions), so followers are never stranded.
+    if (mat_context != nullptr) report.matcache = mat_context->stats();
     REMAC_RETURN_NOT_OK(executed);
     report.timing.execute_seconds = SecondsSince(execute_start);
   }
@@ -307,6 +369,7 @@ Result<ServiceReport> PlanService::Run(const ServiceRequest& request) {
 ServiceStats PlanService::stats() const {
   ServiceStats stats;
   stats.cache = cache_.stats();
+  stats.matcache = mat_cache_.stats();
   stats.pool = ThreadPool::Global().stats();
   stats.requests = requests_.load(std::memory_order_relaxed);
   stats.optimizer_invocations =

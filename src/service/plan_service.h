@@ -14,6 +14,8 @@
 #include "common/status.h"
 #include "runtime/program_runner.h"
 #include "sched/thread_pool.h"
+#include "service/matcache/exec_context.h"
+#include "service/matcache/matcache.h"
 #include "service/plan_cache.h"
 #include "service/program_fingerprint.h"
 
@@ -58,10 +60,14 @@ struct ServiceReport {
   bool degraded = false;
   /// Why: "deadline", "pool-saturated" or "retries-exhausted".
   std::string degraded_reason;
+  /// This request's materialized-intermediate cache interaction: probes,
+  /// hits served without recomputation, flights led and waited on.
+  MatRequestStats matcache;
 };
 
 struct ServiceStats {
   PlanCacheStats cache;
+  MatCacheStats matcache;
   PoolStats pool;
   int64_t requests = 0;
   /// Times the optimizer actually ran (single-flight: once per cold key).
@@ -82,6 +88,14 @@ struct ServiceOptions {
   /// DAG fan-out to a saturated pool only deepens the queue. <= 0
   /// disables the check.
   double saturation_queue_factor = 8.0;
+  /// Materialized-intermediate cache (src/service/matcache): byte
+  /// budget (0 disables cross-request intermediate sharing entirely),
+  /// shard count, admission threshold and single-flight toggle — see
+  /// MatCacheOptions for the semantics of each knob.
+  int64_t mat_cache_bytes = 256ll << 20;
+  int mat_cache_shards = 8;
+  double mat_admit_flops_per_byte = 0.0;
+  bool mat_single_flight = true;
 };
 
 /// \brief Long-lived optimize-and-execute front end with a plan cache.
@@ -117,6 +131,7 @@ class PlanService {
 
   ServiceStats stats() const;
   PlanCache& cache() { return cache_; }
+  MatCache& mat_cache() { return mat_cache_; }
   const DataCatalog& catalog() const { return *catalog_; }
 
   /// \brief A client session: submits requests onto the shared thread
@@ -163,14 +178,24 @@ class PlanService {
       const ServiceRequest& request, uint64_t program_hash,
       const std::string& metadata_key, RequestTiming* timing);
 
+  /// Datasets among `names` whose metadata fragment or registration
+  /// version changed since last observed; updates the observation and
+  /// erases stale materialized intermediates for the changed names.
+  void InvalidateChangedDatasets(const std::vector<std::string>& names);
+
   const DataCatalog* catalog_;
   ServiceOptions options_;
   PlanCache cache_;
+  MatCache mat_cache_;
 
-  mutable std::mutex mu_;  // aliases_, last_metadata_, flights_
+  mutable std::mutex mu_;  // aliases_, last_metadata_, flights_,
+                           // dataset_fragments_
   std::unordered_map<std::string, SourceAlias> aliases_;
   std::unordered_map<uint64_t, std::string> last_metadata_;
   std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+  /// Last-seen strict fragment (metadata + version) per dataset, the
+  /// trigger for dataset-level matcache invalidation.
+  std::unordered_map<std::string, std::string> dataset_fragments_;
 
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> optimizer_invocations_{0};

@@ -143,16 +143,23 @@ int SparsityBucket(double sparsity) {
   return static_cast<int>(std::floor(2.0 * std::log10(sparsity)));
 }
 
+Result<std::string> DatasetMetadataFragment(const std::string& name,
+                                            const DataCatalog& catalog) {
+  REMAC_ASSIGN_OR_RETURN(const MatrixStats stats, catalog.Stats(name));
+  return StringFormat("%s=%lldx%lld,%s,b%d;", name.c_str(),
+                      static_cast<long long>(stats.rows),
+                      static_cast<long long>(stats.cols),
+                      stats.rows == stats.cols ? "sq" : "rc",
+                      SparsityBucket(stats.sparsity));
+}
+
 Result<std::string> InputMetadataKey(const std::vector<std::string>& datasets,
                                      const DataCatalog& catalog) {
   std::string key;
   for (const std::string& name : datasets) {
-    REMAC_ASSIGN_OR_RETURN(const MatrixStats stats, catalog.Stats(name));
-    key += StringFormat("%s=%lldx%lld,%s,b%d;", name.c_str(),
-                        static_cast<long long>(stats.rows),
-                        static_cast<long long>(stats.cols),
-                        stats.rows == stats.cols ? "sq" : "rc",
-                        SparsityBucket(stats.sparsity));
+    REMAC_ASSIGN_OR_RETURN(const std::string fragment,
+                           DatasetMetadataFragment(name, catalog));
+    key += fragment;
   }
   return key;
 }

@@ -48,14 +48,21 @@ Result<ProgramFingerprint> FingerprintScript(std::string_view source);
 /// 0, and (near-)empty matrices get their own sentinel bucket.
 int SparsityBucket(double sparsity);
 
+/// One dataset's metadata fragment, `name=rowsxcols,sq|rc,b<bucket>;`:
+/// exact dimensions, a square/rectangular flag (the shape class symmetry
+/// the rewriter keys on), and the bucketed sparsity. The unit of both
+/// plan-cache keying (concatenated by InputMetadataKey) and the
+/// materialized-intermediate cache's dataset-level invalidation. Errors
+/// if the dataset is missing from the catalog.
+Result<std::string> DatasetMetadataFragment(const std::string& name,
+                                            const DataCatalog& catalog);
+
 /// \brief Metadata key of a program's inputs against a catalog.
 ///
-/// One `name=rowsxcols,sq|rc,b<bucket>` fragment per dataset: exact
-/// dimensions, a square/rectangular flag (the shape class symmetry the
-/// rewriter keys on), and the bucketed sparsity. Plans are reusable
-/// while every input stays in its bucket; any fragment changing moves
-/// the request to a different cache key. Errors if a dataset is missing
-/// from the catalog.
+/// One DatasetMetadataFragment per dataset, in first-use order. Plans
+/// are reusable while every input stays in its bucket; any fragment
+/// changing moves the request to a different cache key. Errors if a
+/// dataset is missing from the catalog.
 Result<std::string> InputMetadataKey(const std::vector<std::string>& datasets,
                                      const DataCatalog& catalog);
 

@@ -25,6 +25,9 @@
 //   --repeat N               run the script N times through the plan
 //                            service (run: opt-in; serve default 8)
 //   --cache-size N           plan-cache capacity in entries (default 64)
+//   --mat-cache-mb N         serve mode: materialized-intermediate cache
+//                            budget in MiB (default 256; 0 disables
+//                            cross-request intermediate sharing)
 //   --threads N              thread count for the shared pool
 //   --chaos SEED             chaos run: inject deterministic faults
 //                            (transients, stragglers, one worker crash)
@@ -64,7 +67,8 @@ int Usage() {
                "usage: remac run|serve|compile SCRIPT.dml [--data NAME=PATH] "
                "[--dataset NAME] [--optimizer KIND] [--estimator KIND] "
                "[--engine KIND] [--iterations N] [--print-plan] "
-               "[--print VAR] [--repeat N] [--cache-size N] [--threads N] "
+               "[--print VAR] [--repeat N] [--cache-size N] "
+               "[--mat-cache-mb N] [--threads N] "
                "[--chaos SEED] [--deadline SEC] "
                "[--stats] [--metrics-out PATH]\n"
                "       remac datasets\n"
@@ -212,6 +216,7 @@ int Main(int argc, char** argv) {
   std::vector<std::string> print_vars;
   int repeat = command == "serve" ? 8 : 0;
   size_t cache_size = 64;
+  long long mat_cache_mb = 256;
   bool show_stats = false;
   std::string metrics_out;
   double deadline_seconds = 0.0;
@@ -276,6 +281,16 @@ int Main(int argc, char** argv) {
         return 2;
       }
       cache_size = static_cast<size_t>(entries);
+    } else if (arg == "--mat-cache-mb") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      mat_cache_mb = std::atoll(value);
+      if (mat_cache_mb < 0) {
+        std::fprintf(stderr,
+                     "--mat-cache-mb expects a non-negative integer "
+                     "(0 disables the intermediate cache)\n");
+        return 2;
+      }
     } else if (arg == "--threads") {
       const char* value = next();
       if (value == nullptr) return Usage();
@@ -345,11 +360,18 @@ int Main(int argc, char** argv) {
     // the fingerprinted plan cache and skip straight to execution.
     ServiceOptions options;
     options.cache_capacity = cache_size;
+    options.mat_cache_bytes = static_cast<int64_t>(mat_cache_mb) << 20;
     PlanService service(&catalog, options);
     ServiceRequest request{source.str(), config, deadline_seconds};
     Result<ServiceReport> last = Status::Internal("no requests ran");
-    std::printf("serving %d request(s), cache capacity %zu\n", repeat,
-                cache_size);
+    std::printf(
+        "serving %d request(s), plan cache capacity %zu, "
+        "intermediate cache %s\n",
+        repeat, cache_size,
+        mat_cache_mb > 0
+            ? HumanBytes(static_cast<double>(options.mat_cache_bytes))
+                  .c_str()
+            : "off");
     for (int k = 0; k < repeat; ++k) {
       last = service.Run(request);
       if (!last.ok()) {
@@ -376,13 +398,34 @@ int Main(int argc, char** argv) {
     const ServiceStats stats = service.stats();
     std::printf("--- cache stats ---\n");
     std::printf(
-        "hits %lld  misses %lld  evictions %lld  invalidations %lld  "
-        "entries %lld/%zu\n",
+        "%-14s %8s %8s %10s %13s %9s %10s\n", "", "hits", "misses",
+        "evictions", "invalidations", "entries", "resident");
+    std::printf(
+        "%-14s %8lld %8lld %10lld %13lld %6lld/%-2zu %10s\n", "plan cache",
         static_cast<long long>(stats.cache.hits),
         static_cast<long long>(stats.cache.misses),
         static_cast<long long>(stats.cache.evictions),
         static_cast<long long>(stats.cache.invalidations),
-        static_cast<long long>(stats.cache.entries), cache_size);
+        static_cast<long long>(stats.cache.entries), cache_size,
+        HumanBytes(static_cast<double>(stats.cache.resident_bytes)).c_str());
+    if (mat_cache_mb > 0) {
+      std::printf(
+          "%-14s %8lld %8lld %10lld %13lld %9lld %10s\n", "intermediates",
+          static_cast<long long>(stats.matcache.hits),
+          static_cast<long long>(stats.matcache.misses),
+          static_cast<long long>(stats.matcache.evictions),
+          static_cast<long long>(stats.matcache.invalidations),
+          static_cast<long long>(stats.matcache.entries),
+          HumanBytes(static_cast<double>(stats.matcache.resident_bytes))
+              .c_str());
+      std::printf(
+          "intermediates: admits %lld  rejects %lld  flight waits %lld  "
+          "flops saved %.3g\n",
+          static_cast<long long>(stats.matcache.admits),
+          static_cast<long long>(stats.matcache.rejects),
+          static_cast<long long>(stats.matcache.flight_waits),
+          stats.matcache.flops_saved);
+    }
     std::printf("optimizer invocations: %lld (of %lld requests)\n",
                 static_cast<long long>(stats.optimizer_invocations),
                 static_cast<long long>(stats.requests));
