@@ -1,0 +1,237 @@
+// 2D-vs-1D distribution comparison + regression gate (ISSUE 7).
+//
+// Runs a set of sparse/skewed programs twice — once with the 2D tiled
+// subsystem enabled (--dist2d auto: the optimizer may pick SUMMA) and
+// once forced to the 1D BMM/CPMM paths (--dist2d off) — against separate
+// TransmissionLedgers. For every program it checks that the two runs
+// produce bitwise-identical results (the 2D path must never change
+// numerics, only placement) and reports total ledger bytes per mode.
+// Writes BENCH_dist2d.json to the working directory and exits non-zero
+// unless at least one program moves strictly fewer ledger bytes under
+// 2D than under forced 1D, so scripts/check.sh fails if the SUMMA path
+// stops paying for itself on redundancy-friendly inputs.
+//
+// This binary parses its own flags: --quick --json --threads=N.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algorithms/scripts.h"
+#include "bench/harness.h"
+#include "cluster/transmission_ledger.h"
+#include "common/string_util.h"
+#include "runtime/program_runner.h"
+
+using namespace remac;
+using namespace remac::bench;
+
+namespace {
+
+struct ModeResult {
+  double total_bytes = 0.0;
+  double broadcast_bytes = 0.0;
+  double shuffle_bytes = 0.0;
+  double collection_bytes = 0.0;
+  double seconds = 0.0;
+  std::map<std::string, RtValue> env;
+};
+
+/// Optimizes and executes `script` under `mode`, booking into a private
+/// ledger so the two modes never share accumulators.
+Result<ModeResult> RunMode(const std::string& script, Dist2DMode mode,
+                           int iterations) {
+  RunConfig config;
+  config.cluster.dist2d = mode;
+  config.optimizer = OptimizerKind::kRemacAdaptive;
+  config.max_iterations = iterations;
+  config.executed_iterations = iterations;
+  REMAC_ASSIGN_OR_RETURN(const CompiledProgram compiled,
+                         CompileScript(script, SharedCatalog()));
+  REMAC_ASSIGN_OR_RETURN(
+      const CompiledProgram optimized,
+      OptimizeCompiled(compiled, SharedCatalog(), config, nullptr));
+  TransmissionLedger ledger(config.cluster);
+  RunReport report;
+  REMAC_RETURN_NOT_OK(ExecuteCompiled(optimized, SharedCatalog(), config,
+                                      &ledger, &report));
+  ModeResult result;
+  result.total_bytes = ledger.TotalBytes();
+  result.broadcast_bytes = ledger.BytesFor(TransmissionPrimitive::kBroadcast);
+  result.shuffle_bytes = ledger.BytesFor(TransmissionPrimitive::kShuffle);
+  result.collection_bytes =
+      ledger.BytesFor(TransmissionPrimitive::kCollection);
+  result.seconds = ledger.Breakdown().computation_seconds +
+                   ledger.Breakdown().transmission_seconds;
+  result.env = report.env;
+  return result;
+}
+
+/// Bitwise equality of the two final environments: every variable, every
+/// element (exact double ==, no tolerance — the 2D path computes the
+/// same local product, so any drift is a bug).
+bool BitwiseEqual(const std::map<std::string, RtValue>& a,
+                  const std::map<std::string, RtValue>& b,
+                  std::string* diff) {
+  if (a.size() != b.size()) {
+    *diff = "environment sizes differ";
+    return false;
+  }
+  for (const auto& [name, lhs] : a) {
+    auto it = b.find(name);
+    if (it == b.end()) {
+      *diff = "missing variable " + name;
+      return false;
+    }
+    const RtValue& rhs = it->second;
+    if (lhs.is_scalar != rhs.is_scalar) {
+      *diff = "placement kind differs for " + name;
+      return false;
+    }
+    if (lhs.is_scalar) {
+      if (lhs.scalar != rhs.scalar) {
+        *diff = "scalar " + name + " differs";
+        return false;
+      }
+      continue;
+    }
+    const Matrix& lm = lhs.matrix;
+    const Matrix& rm = it->second.matrix;
+    if (lm.rows() != rm.rows() || lm.cols() != rm.cols()) {
+      *diff = "shape of " + name + " differs";
+      return false;
+    }
+    for (int64_t r = 0; r < lm.rows(); ++r) {
+      for (int64_t c = 0; c < lm.cols(); ++c) {
+        if (lm.At(r, c) != rm.At(r, c)) {
+          *diff = StringFormat("%s[%lld,%lld] differs", name.c_str(),
+                               static_cast<long long>(r),
+                               static_cast<long long>(c));
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+struct ProgramRow {
+  std::string label;
+  double bytes_1d = 0.0;
+  double bytes_2d = 0.0;
+  double seconds_1d = 0.0;
+  double seconds_2d = 0.0;
+  bool identical = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions options = ParseBenchArgs(argc, argv);
+  Banner("BENCH dist2d", "2D tiled SUMMA vs 1D BMM/CPMM distribution");
+
+  struct ProgramSpec {
+    const char* label;
+    const char* dataset;
+    std::string script;
+  };
+  // Gram matrices over skewed (zipf) sparse datasets: both operands are
+  // large enough to live distributed, so the 1D chooser lands on CPMM
+  // and the 2D subsystem competes on its home turf. The zipf skew
+  // leaves entire tile rows/columns empty, which is exactly the
+  // redundancy the annotated tile grids are built to skip.
+  std::vector<ProgramSpec> specs;
+  const char* gram = R"(
+X = read("%s");
+G = t(X) %%*%% X;
+s = sum(G);
+)";
+  specs.push_back({"gram-zipf1.2", "zipf-1.2",
+                   StringFormat(gram, "zipf-1.2")});
+  specs.push_back({"gram-zipf1.6", "zipf-1.6",
+                   StringFormat(gram, "zipf-1.6")});
+  if (!options.quick) {
+    specs.push_back({"gd-zipf1.4", "zipf-1.4", GdScript("zipf-1.4", 2)});
+  }
+
+  std::vector<ProgramRow> rows;
+  bool all_identical = true;
+  int wins = 0;
+  std::printf("%-16s %14s %14s %9s %10s\n", "program", "1D bytes",
+              "2D bytes", "ratio", "identical");
+  for (const ProgramSpec& spec : specs) {
+    if (Status st = EnsureDataset(spec.dataset); !st.ok()) {
+      std::fprintf(stderr, "dataset %s: %s\n", spec.dataset,
+                   st.ToString().c_str());
+      return 1;
+    }
+    const int iterations = 2;
+    auto one_d = RunMode(spec.script, Dist2DMode::kOff, iterations);
+    auto two_d = RunMode(spec.script, Dist2DMode::kAuto, iterations);
+    if (!one_d.ok() || !two_d.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.label,
+                   (!one_d.ok() ? one_d.status() : two_d.status())
+                       .ToString()
+                       .c_str());
+      return 1;
+    }
+    ProgramRow row;
+    row.label = spec.label;
+    row.bytes_1d = one_d->total_bytes;
+    row.bytes_2d = two_d->total_bytes;
+    row.seconds_1d = one_d->seconds;
+    row.seconds_2d = two_d->seconds;
+    std::string diff;
+    row.identical = BitwiseEqual(one_d->env, two_d->env, &diff);
+    if (!row.identical) {
+      std::fprintf(stderr, "%s: results diverge: %s\n", spec.label,
+                   diff.c_str());
+      all_identical = false;
+    }
+    if (row.bytes_2d < row.bytes_1d) ++wins;
+    std::printf("%-16s %14.4g %14.4g %9.3f %10s\n", row.label.c_str(),
+                row.bytes_1d, row.bytes_2d,
+                row.bytes_1d > 0.0 ? row.bytes_2d / row.bytes_1d : 1.0,
+                row.identical ? "yes" : "NO");
+    rows.push_back(row);
+  }
+
+  FILE* out = std::fopen("BENCH_dist2d.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_dist2d.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\"programs\": [");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ProgramRow& row = rows[i];
+    std::fprintf(out,
+                 "%s{\"label\": \"%s\", \"bytes_1d\": %.9g, "
+                 "\"bytes_2d\": %.9g, \"seconds_1d\": %.9g, "
+                 "\"seconds_2d\": %.9g, \"identical\": %s}",
+                 i == 0 ? "" : ", ", row.label.c_str(), row.bytes_1d,
+                 row.bytes_2d, row.seconds_1d, row.seconds_2d,
+                 row.identical ? "true" : "false");
+  }
+  std::fprintf(out, "], \"wins_2d\": %d, \"all_identical\": %s}\n", wins,
+               all_identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote BENCH_dist2d.json\n");
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: 2D and 1D runs must be bitwise-identical\n");
+    return 1;
+  }
+  if (wins == 0) {
+    std::fprintf(stderr,
+                 "FAIL: 2D moved >= as many ledger bytes as 1D on every "
+                 "program (expected at least one win)\n");
+    return 1;
+  }
+  std::printf("PASS: 2D beats 1D on ledger bytes for %d/%zu programs\n",
+              wins, rows.size());
+  return 0;
+}

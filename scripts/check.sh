@@ -12,7 +12,11 @@
 #               transpose-multiply speedup floors; writes
 #               BENCH_kernels.json), then the bench_service
 #               intermediate-reuse gate (matcache serving >= 2x faster
-#               than per-session recompute; writes BENCH_service.json)
+#               than per-session recompute; writes BENCH_service.json),
+#               then the bench_distributed 2D-layout gate (SUMMA must
+#               beat 1D on ledger bytes for at least one sparse/skewed
+#               program with bitwise-identical results; writes
+#               BENCH_dist2d.json)
 #
 # Usage: scripts/check.sh [tsan-build-dir] [asan-build-dir] \
 #                         [bench-build-dir] [ubsan-build-dir]
@@ -117,7 +121,21 @@ bench_smoke_gate() {
     echo "error: bench_service binary not found under '$BENCH_DIR'" >&2
     return 1
   fi
-  "$sbin" --quick --json | tee "$BENCH_DIR/bench_service.out"
+  "$sbin" --quick --json | tee "$BENCH_DIR/bench_service.out" || return 1
+  # 2D-layout gate: bench_distributed exits non-zero unless the 2D tiled
+  # SUMMA path moves strictly fewer TransmissionLedger bytes than forced
+  # 1D on at least one sparse/skewed program, with bitwise-identical
+  # results (writes BENCH_dist2d.json).
+  cmake --build "$BENCH_DIR" -j --target bench_distributed || return 1
+  local dbin="$BENCH_DIR/bench/bench_distributed"
+  if [[ ! -x "$dbin" ]]; then
+    dbin="$(find "$BENCH_DIR" -name bench_distributed -type f | head -1)"
+  fi
+  if [[ -z "$dbin" ]]; then
+    echo "error: bench_distributed binary not found under '$BENCH_DIR'" >&2
+    return 1
+  fi
+  "$dbin" --quick --json | tee "$BENCH_DIR/bench_distributed.out"
 }
 
 if sanitizer_gate ThreadSanitizer "$TSAN_DIR" thread TSAN_OPTIONS; then

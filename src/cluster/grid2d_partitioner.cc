@@ -1,0 +1,55 @@
+#include "cluster/grid2d_partitioner.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace remac {
+
+Grid2DShape Grid2DPartitioner::MakeGrid(int num_workers) {
+  assert(num_workers > 0);
+  Grid2DShape shape;
+  // Largest divisor of num_workers not exceeding its square root: the
+  // most-square exact factorization (pr <= pc keeps the wider dimension
+  // on columns, matching the row-major flat worker ids).
+  int best = 1;
+  for (int d = 1; d * d <= num_workers; ++d) {
+    if (num_workers % d == 0) best = d;
+  }
+  shape.rows = best;
+  shape.cols = num_workers / best;
+  return shape;
+}
+
+std::vector<int> Grid2DPartitioner::RowGroup(int worker_row) const {
+  assert(worker_row >= 0 && worker_row < shape_.rows);
+  std::vector<int> group;
+  group.reserve(static_cast<size_t>(shape_.cols));
+  for (int c = 0; c < shape_.cols; ++c) {
+    group.push_back(worker_row * shape_.cols + c);
+  }
+  return group;
+}
+
+std::vector<int> Grid2DPartitioner::ColGroup(int worker_col) const {
+  assert(worker_col >= 0 && worker_col < shape_.cols);
+  std::vector<int> group;
+  group.reserve(static_cast<size_t>(shape_.rows));
+  for (int r = 0; r < shape_.rows; ++r) {
+    group.push_back(r * shape_.cols + worker_col);
+  }
+  return group;
+}
+
+std::vector<double> Grid2DPartitioner::WorkerLoads(
+    const std::vector<double>& weights, int64_t grid_cols) const {
+  assert(grid_cols > 0);
+  std::vector<double> loads(static_cast<size_t>(num_workers()), 0.0);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const int64_t tr = static_cast<int64_t>(i) / grid_cols;
+    const int64_t tc = static_cast<int64_t>(i) % grid_cols;
+    loads[static_cast<size_t>(WorkerOf(tr, tc))] += weights[i];
+  }
+  return loads;
+}
+
+}  // namespace remac

@@ -1,0 +1,69 @@
+#ifndef REMAC_CLUSTER_GRID2D_PARTITIONER_H_
+#define REMAC_CLUSTER_GRID2D_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace remac {
+
+/// Shape of the logical worker grid: pr rows by pc columns.
+struct Grid2DShape {
+  int rows = 1;
+  int cols = 1;
+};
+
+/// \brief 2D block-cyclic partitioner mapping tiles to a pr x pc worker
+/// grid (LA3-style, the layout SUMMA multiplies against).
+///
+/// The `num_workers` workers are arranged into the most-square grid whose
+/// area is exactly num_workers (6 workers -> 2 x 3; primes degrade to
+/// 1 x p). Tile (tr, tc) is owned block-cyclically by the worker at grid
+/// position (tr mod pr, tc mod pc), so every worker row holds a stripe of
+/// tile rows and every worker column a stripe of tile columns. SUMMA's
+/// communication groups fall directly out of this mapping: an A tile is
+/// broadcast along its owner's worker *row* (pc - 1 receivers), a B tile
+/// along its owner's worker *column* (pr - 1 receivers).
+class Grid2DPartitioner {
+ public:
+  explicit Grid2DPartitioner(int num_workers)
+      : shape_(MakeGrid(num_workers)) {}
+
+  /// Most-square factorization pr x pc == num_workers with pr <= pc.
+  static Grid2DShape MakeGrid(int num_workers);
+
+  int num_workers() const { return shape_.rows * shape_.cols; }
+  int grid_rows() const { return shape_.rows; }  // pr
+  int grid_cols() const { return shape_.cols; }  // pc
+
+  /// Grid coordinates of the worker owning tile (tile_row, tile_col).
+  int WorkerRowOf(int64_t tile_row) const {
+    return static_cast<int>(tile_row % shape_.rows);
+  }
+  int WorkerColOf(int64_t tile_col) const {
+    return static_cast<int>(tile_col % shape_.cols);
+  }
+
+  /// Flat worker id owning tile (tile_row, tile_col): row-major over the
+  /// worker grid.
+  int WorkerOf(int64_t tile_row, int64_t tile_col) const {
+    return WorkerRowOf(tile_row) * shape_.cols + WorkerColOf(tile_col);
+  }
+
+  /// Flat ids of the workers in grid row `worker_row` (an A-broadcast
+  /// group) / grid column `worker_col` (a B-broadcast group).
+  std::vector<int> RowGroup(int worker_row) const;
+  std::vector<int> ColGroup(int worker_col) const;
+
+  /// Distributes `weights[i]` (row-major on a grid_cols-wide tile grid)
+  /// over workers; same contract as HashPartitioner::WorkerLoads so the
+  /// two layouts' balance is directly comparable.
+  std::vector<double> WorkerLoads(const std::vector<double>& weights,
+                                  int64_t grid_cols) const;
+
+ private:
+  Grid2DShape shape_;
+};
+
+}  // namespace remac
+
+#endif  // REMAC_CLUSTER_GRID2D_PARTITIONER_H_

@@ -44,9 +44,8 @@ CostedStats CostModel::MultiplyCost(const CostedStats& a,
                                     const CostedStats& b) const {
   CostedStats out;
   out.stats = estimator_->Multiply(a.stats, b.stats);
-  const OpCosting costing =
-      remac::CostMultiply(ToMatInfo(a), ToMatInfo(b), out.stats.sparsity,
-                          model_);
+  const OpCosting costing = SelectMultiplyCosting(
+      ToMatInfo(a), ToMatInfo(b), out.stats.sparsity, model_);
   out.distributed = costing.result_distributed;
   out.seconds = costing.Seconds(model_);
   return out;
@@ -55,7 +54,7 @@ CostedStats CostModel::MultiplyCost(const CostedStats& a,
 double CostModel::MultiplySeconds(const CostedStats& a, const CostedStats& b,
                                   double sp_out) const {
   const OpCosting costing =
-      remac::CostMultiply(ToMatInfo(a), ToMatInfo(b), sp_out, model_);
+      SelectMultiplyCosting(ToMatInfo(a), ToMatInfo(b), sp_out, model_);
   return costing.Seconds(model_);
 }
 
@@ -262,6 +261,81 @@ Result<CostedStats> CostModel::CostTree(const PlanNode& node,
     }
   }
   return Status::Internal("unhandled op in CostTree");
+}
+
+namespace {
+
+MultiplyLayout LayoutOf(MultiplyMethod method) {
+  switch (method) {
+    case MultiplyMethod::kLocalOp:
+      return MultiplyLayout::kLocal;
+    case MultiplyMethod::kBmm:
+      return MultiplyLayout::kBmm1D;
+    case MultiplyMethod::kCpmm:
+      return MultiplyLayout::kCpmm1D;
+    case MultiplyMethod::kSumma2D:
+      return MultiplyLayout::kSumma2D;
+  }
+  return MultiplyLayout::kUnset;
+}
+
+void AnnotateNode(PlanNode* node, const VarStats& vars,
+                  const CostModel& cost_model) {
+  for (const PlanNodePtr& child : node->children) {
+    AnnotateNode(child.get(), vars, cost_model);
+  }
+  if (node->op != PlanOp::kMatMul) return;
+  // Mirror the executor's transpose fusion so the stamp prices the fused
+  // operands the runtime actually multiplies.
+  const PlanNode* lhs = node->children[0].get();
+  const PlanNode* rhs = node->children[1].get();
+  const bool lt = lhs->op == PlanOp::kTranspose &&
+                  !lhs->children[0]->shape.ScalarLike();
+  const bool rt = rhs->op == PlanOp::kTranspose &&
+                  !rhs->children[0]->shape.ScalarLike();
+  const Result<CostedStats> a =
+      cost_model.CostTree(lt ? *lhs->children[0] : *lhs, vars);
+  const Result<CostedStats> b =
+      cost_model.CostTree(rt ? *rhs->children[0] : *rhs, vars);
+  if (!a.ok() || !b.ok()) return;  // stays kUnset
+  const SparsityEstimator& estimator = cost_model.estimator();
+  const NodeStats ea =
+      lt ? estimator.Transpose(a.value().stats) : a.value().stats;
+  const NodeStats eb =
+      rt ? estimator.Transpose(b.value().stats) : b.value().stats;
+  const NodeStats out = estimator.Multiply(ea, eb);
+  CostedStats ca = a.value();
+  ca.stats = ea;
+  CostedStats cb = b.value();
+  cb.stats = eb;
+  const OpCosting costing = SelectMultiplyCosting(
+      ToMatInfo(ca), ToMatInfo(cb), out.sparsity, cost_model.cluster());
+  node->layout = LayoutOf(costing.method);
+}
+
+}  // namespace
+
+Status AnnotateMultiplyLayouts(CompiledProgram* program,
+                               const DataCatalog& catalog,
+                               const CostModel& cost_model) {
+  REMAC_ASSIGN_OR_RETURN(
+      const VarStats vars,
+      PropagateProgramStats(*program, catalog, cost_model));
+  std::function<void(std::vector<CompiledStmt>&)> walk =
+      [&](std::vector<CompiledStmt>& stmts) {
+        for (CompiledStmt& stmt : stmts) {
+          if (stmt.kind == CompiledStmt::Kind::kAssign) {
+            if (stmt.plan) AnnotateNode(stmt.plan.get(), vars, cost_model);
+            continue;
+          }
+          if (stmt.condition) {
+            AnnotateNode(stmt.condition.get(), vars, cost_model);
+          }
+          walk(stmt.body);
+        }
+      };
+  walk(program->statements);
+  return Status::OK();
 }
 
 Result<VarStats> PropagateProgramStats(const CompiledProgram& program,

@@ -93,6 +93,17 @@ Result<VarStats> PropagateProgramStats(const CompiledProgram& program,
                                        const CostModel& cost_model,
                                        int loop_sweeps = 2);
 
+/// Stamps every kMatMul node of `program` with the physical layout the
+/// cost model selects for it (PlanNode::layout: local / BMM / CPMM /
+/// SUMMA-2D), pricing operands at their steady-state statistics and
+/// mirroring the executor's transpose fusion. Advisory plan metadata for
+/// reporting (`remac run --stats`); execution re-derives the same
+/// decision from actual statistics, and nodes whose operand statistics
+/// cannot be derived keep kUnset.
+Status AnnotateMultiplyLayouts(CompiledProgram* program,
+                               const DataCatalog& catalog,
+                               const CostModel& cost_model);
+
 }  // namespace remac
 
 #endif  // REMAC_COST_COST_MODEL_H_

@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "matrix/storage_format.h"
+
 namespace remac {
 
 /// Pure size/FLOP formulas shared by the optimizer's cost model and the
@@ -24,11 +26,12 @@ inline double ElementwiseFlops(double rows, double cols, double sp_out) {
 }
 
 /// Serialized size of a matrix given its sparsity, applying the format
-/// rule: dense when sp > 0.4; otherwise CSR with size alpha*sp + beta
-/// (values 8B + column index 4B per non-zero, 8B row pointer per row).
+/// rule: dense when sp > kDenseFormatThreshold; otherwise CSR with size
+/// alpha*sp + beta (values 8B + column index 4B per non-zero, 8B row
+/// pointer per row).
 inline double MatrixBytes(double rows, double cols, double sp) {
   sp = std::clamp(sp, 0.0, 1.0);
-  if (sp > 0.4) return rows * cols * 8.0;
+  if (sp > kDenseFormatThreshold) return rows * cols * 8.0;
   const double alpha = rows * cols * (8.0 + 4.0);
   const double beta = rows * 8.0 + 16.0;
   return alpha * sp + beta;

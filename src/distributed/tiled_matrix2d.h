@@ -1,0 +1,99 @@
+#ifndef REMAC_DISTRIBUTED_TILED_MATRIX2D_H_
+#define REMAC_DISTRIBUTED_TILED_MATRIX2D_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster_model.h"
+#include "cluster/grid2d_partitioner.h"
+#include "matrix/matrix.h"
+
+namespace remac {
+
+/// Redundancy annotation of one tile, discovered by the preprocessing
+/// pass (LA3's empty/dense bitvectors): empty tiles are never transmitted
+/// at all, dense tiles ship without index structures, the rest go as CSR.
+enum class TileFormat { kEmpty, kCsr, kDense };
+
+const char* TileFormatName(TileFormat format);
+
+/// \brief The 2D-layout counterpart of BlockedMatrix: a tile-grid view of
+/// a matrix with exact per-tile non-zero counts and redundancy
+/// annotations.
+///
+/// Like BlockedMatrix this is a statistics view over a simulated cluster
+/// — the payload is not physically scattered — but the grid, the per-tile
+/// nnz, and the per-tile format annotations are computed exactly from the
+/// real data in one preprocessing scan. The SUMMA multiply prices its
+/// row-broadcast / col-broadcast / reduce legs from these statistics, and
+/// annotated-empty tiles contribute exactly zero bytes to every leg.
+///
+/// A transposed view (`transposed = true`) tiles op(M) = M^T without
+/// materializing the transpose: the scan buckets (c, r) instead of
+/// (r, c), mirroring the executor's fused transpose-multiply.
+class TiledMatrix2D {
+ public:
+  TiledMatrix2D() = default;
+
+  /// Tiles `data` (or its transpose) into block_size x block_size tiles.
+  static TiledMatrix2D Partition(const Matrix& data, bool transposed,
+                                 const ClusterModel& model);
+
+  /// Logical dimensions of the tiled view (post-transpose).
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t tile_size() const { return tile_size_; }
+  int64_t grid_rows() const { return grid_rows_; }
+  int64_t grid_cols() const { return grid_cols_; }
+  int64_t num_tiles() const { return grid_rows_ * grid_cols_; }
+
+  /// Exact non-zero count of tile (tr, tc).
+  int64_t TileNnz(int64_t tr, int64_t tc) const {
+    return tile_nnz_[static_cast<size_t>(tr * grid_cols_ + tc)];
+  }
+
+  bool TileEmpty(int64_t tr, int64_t tc) const {
+    return TileNnz(tr, tc) == 0;
+  }
+
+  /// Sparsity annotation of tile (tr, tc) under the shared format rule
+  /// (dense above kDenseFormatThreshold, CSR below, empty at zero).
+  TileFormat TileAnnotation(int64_t tr, int64_t tc) const;
+
+  /// Serialized bytes of tile (tr, tc): exactly 0 for annotated-empty
+  /// tiles (they are never shipped), MatrixBytes under the tile's own
+  /// sparsity otherwise.
+  double TileBytes(int64_t tr, int64_t tc) const;
+
+  /// Sum of TileBytes over the grid.
+  double TotalBytes() const;
+
+  /// Number of annotated-empty tiles (the redundancy the 2D layout
+  /// eliminates from communication).
+  int64_t EmptyTiles() const;
+
+  /// Exact non-zero count of the whole matrix (sum over tiles).
+  int64_t TotalNnz() const;
+
+  /// Per-worker resident bytes under the block-cyclic 2D mapping.
+  std::vector<double> PerWorkerBytes(const Grid2DPartitioner& grid) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  int64_t tile_size_ = 0;
+  int64_t grid_rows_ = 0;
+  int64_t grid_cols_ = 0;
+  std::vector<int64_t> tile_nnz_;  // row-major over the grid
+
+  int64_t TileRows(int64_t tr) const {
+    return std::min(tile_size_, rows_ - tr * tile_size_);
+  }
+  int64_t TileCols(int64_t tc) const {
+    return std::min(tile_size_, cols_ - tc * tile_size_);
+  }
+};
+
+}  // namespace remac
+
+#endif  // REMAC_DISTRIBUTED_TILED_MATRIX2D_H_

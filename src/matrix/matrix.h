@@ -7,15 +7,12 @@
 
 #include "matrix/csr_matrix.h"
 #include "matrix/dense_matrix.h"
+#include "matrix/storage_format.h"
 
 namespace remac {
 
 /// Storage format of a Matrix.
 enum class MatrixFormat { kDense, kSparse };
-
-/// Sparsity threshold above which the dense format is used, following
-/// SystemDS (Section 4.2 of the paper: "we use a dense format if S_V > 0.4").
-inline constexpr double kDenseFormatThreshold = 0.4;
 
 /// \brief Format-polymorphic matrix value.
 ///

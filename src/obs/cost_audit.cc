@@ -105,16 +105,20 @@ class CostWalker {
   const PredictedCost& cost() const { return cost_; }
 
  private:
-  /// Mirror of OpCosting::Book.
+  /// Mirror of OpCosting::Book (including the SUMMA legs' mapping onto
+  /// the broadcast/shuffle primitives).
   void Book(const OpCosting& c) {
     if (c.method == MultiplyMethod::kLocalOp && c.broadcast_bytes == 0.0 &&
-        c.shuffle_bytes == 0.0 && c.collection_bytes == 0.0) {
+        c.shuffle_bytes == 0.0 && c.collection_bytes == 0.0 &&
+        c.row_broadcast_bytes == 0.0 && c.col_broadcast_bytes == 0.0 &&
+        c.reduce_bytes == 0.0) {
       cost_.local_flops += c.flops;
     } else {
       cost_.distributed_flops += c.flops;
     }
-    At(TransmissionPrimitive::kBroadcast) += c.broadcast_bytes;
-    At(TransmissionPrimitive::kShuffle) += c.shuffle_bytes;
+    At(TransmissionPrimitive::kBroadcast) +=
+        c.broadcast_bytes + c.row_broadcast_bytes + c.col_broadcast_bytes;
+    At(TransmissionPrimitive::kShuffle) += c.shuffle_bytes + c.reduce_bytes;
     At(TransmissionPrimitive::kCollection) += c.collection_bytes;
     At(TransmissionPrimitive::kDfs) += c.dfs_bytes;
   }
@@ -218,9 +222,9 @@ class CostWalker {
         const NodeStats eb =
             rt ? estimator_.Transpose(b.stats) : b.stats;
         NodeStats out = estimator_.Multiply(ea, eb);
-        const OpCosting costing =
-            CostMultiply(InfoOf(ea, a.distributed), InfoOf(eb, b.distributed),
-                         out.sparsity, model_);
+        const OpCosting costing = SelectMultiplyCosting(
+            InfoOf(ea, a.distributed), InfoOf(eb, b.distributed),
+            out.sparsity, model_);
         Book(costing);
         return PredValue::FromStats(std::move(out),
                                     costing.result_distributed);
@@ -344,7 +348,7 @@ class CostWalker {
       }
       NodeStats out = estimator_.Multiply(a.stats, b.stats);
       const OpCosting costing =
-          CostMultiply(InfoOf(a), InfoOf(b), out.sparsity, model_);
+          SelectMultiplyCosting(InfoOf(a), InfoOf(b), out.sparsity, model_);
       Book(costing);
       return PredValue::FromStats(std::move(out),
                                   costing.result_distributed);

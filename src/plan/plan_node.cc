@@ -78,6 +78,22 @@ std::string PlanNode::ToString() const {
   }
 }
 
+const char* MultiplyLayoutName(MultiplyLayout layout) {
+  switch (layout) {
+    case MultiplyLayout::kUnset:
+      return "?";
+    case MultiplyLayout::kLocal:
+      return "local";
+    case MultiplyLayout::kBmm1D:
+      return "BMM/1D";
+    case MultiplyLayout::kCpmm1D:
+      return "CPMM/1D";
+    case MultiplyLayout::kSumma2D:
+      return "SUMMA/2D";
+  }
+  return "?";
+}
+
 bool PlanNode::Equals(const PlanNode& a, const PlanNode& b) {
   if (a.op != b.op || a.name != b.name ||
       a.children.size() != b.children.size()) {
@@ -98,6 +114,7 @@ PlanNodePtr PlanNode::Clone() const {
   node->shape = shape;
   node->loop_constant = loop_constant;
   node->symmetric = symmetric;
+  node->layout = layout;
   node->children.reserve(children.size());
   for (const auto& child : children) node->children.push_back(child->Clone());
   return node;

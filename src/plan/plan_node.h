@@ -68,6 +68,14 @@ struct Shape {
   bool operator==(const Shape&) const = default;
 };
 
+/// Physical layout the cost model chose for a kMatMul node (stamped on
+/// the optimized plan by AnnotateMultiplyLayouts so tooling can report
+/// the 1D/2D decision; purely advisory metadata — execution re-derives
+/// the same choice from actual statistics, and Equals ignores it).
+enum class MultiplyLayout { kUnset, kLocal, kBmm1D, kCpmm1D, kSumma2D };
+
+const char* MultiplyLayoutName(MultiplyLayout layout);
+
 struct PlanNode;
 using PlanNodePtr = std::shared_ptr<PlanNode>;
 
@@ -88,6 +96,8 @@ struct PlanNode {
   bool loop_constant = false;
   /// True if the node provably equals its own transpose.
   bool symmetric = false;
+  /// Chosen physical layout for kMatMul nodes (see MultiplyLayout).
+  MultiplyLayout layout = MultiplyLayout::kUnset;
 
   /// Structural one-line rendering, e.g., "(H %*% t(A))".
   std::string ToString() const;

@@ -6,6 +6,7 @@
 
 #include "baselines/spores_optimizer.h"
 #include "baselines/systemds_optimizer.h"
+#include "cost/cost_model.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "sparsity/estimator.h"
@@ -126,33 +127,44 @@ Result<CompiledProgram> OptimizeCompiled(const CompiledProgram& program,
   if (report == nullptr) report = &local;
   const std::unique_ptr<SparsityEstimator> estimator =
       MakeEstimator(config.estimator, &catalog);
-  switch (config.optimizer) {
-    case OptimizerKind::kAsWritten:
-      return program;
-    case OptimizerKind::kSystemDs:
-    case OptimizerKind::kSystemDsNoCse: {
-      SystemDsConfig sds;
-      sds.explicit_cse = config.optimizer == OptimizerKind::kSystemDs;
-      return SystemDsOptimize(program, config.cluster, estimator.get(),
-                              &catalog, sds);
+  Result<CompiledProgram> optimized = [&]() -> Result<CompiledProgram> {
+    switch (config.optimizer) {
+      case OptimizerKind::kAsWritten:
+        return program;
+      case OptimizerKind::kSystemDs:
+      case OptimizerKind::kSystemDsNoCse: {
+        SystemDsConfig sds;
+        sds.explicit_cse = config.optimizer == OptimizerKind::kSystemDs;
+        return SystemDsOptimize(program, config.cluster, estimator.get(),
+                                &catalog, sds);
+      }
+      case OptimizerKind::kSpores:
+        return SporesOptimize(program, config.cluster, estimator.get(),
+                              &catalog, SporesConfig{}, report);
+      default: {
+        OptimizerConfig opt;
+        opt.iterations = config.max_iterations;
+        opt.strategy = StrategyFor(config.optimizer);
+        opt.combiner = config.combiner;
+        opt.search = config.search;
+        opt.treewise_budget = config.treewise_budget;
+        opt.enum_budget = config.enum_budget;
+        opt.forced_option_keys = config.forced_option_keys;
+        ReMacOptimizer optimizer(config.cluster, estimator.get(), &catalog,
+                                 opt);
+        return optimizer.Optimize(program, report);
+      }
     }
-    case OptimizerKind::kSpores:
-      return SporesOptimize(program, config.cluster, estimator.get(),
-                            &catalog, SporesConfig{}, report);
-    default: {
-      OptimizerConfig opt;
-      opt.iterations = config.max_iterations;
-      opt.strategy = StrategyFor(config.optimizer);
-      opt.combiner = config.combiner;
-      opt.search = config.search;
-      opt.treewise_budget = config.treewise_budget;
-      opt.enum_budget = config.enum_budget;
-      opt.forced_option_keys = config.forced_option_keys;
-      ReMacOptimizer optimizer(config.cluster, estimator.get(), &catalog,
-                               opt);
-      return optimizer.Optimize(program, report);
-    }
-  }
+    return Status::Internal("unhandled optimizer kind");
+  }();
+  if (!optimized.ok()) return optimized;
+  CompiledProgram final_program = std::move(optimized).value();
+  // Stamp each multiply with the layout the cost model picks for it
+  // (1D BMM/CPMM vs 2D SUMMA) so the plan records the decision for
+  // reporting. Advisory: a failed annotation leaves nodes at kUnset.
+  const CostModel layout_model(config.cluster, estimator.get(), &catalog);
+  (void)AnnotateMultiplyLayouts(&final_program, catalog, layout_model);
+  return final_program;
 }
 
 namespace {

@@ -1,8 +1,11 @@
 #include "service/matcache/matcache.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstring>
 #include <functional>
 #include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -298,6 +301,53 @@ size_t MatCache::size() const {
     total += shard->lru.size();
   }
   return total;
+}
+
+double MeasuredAdmitFlopsPerByte() {
+  static const double measured = [] {
+    using Clock = std::chrono::steady_clock;
+    // Compute side: a naive n^3 GEMM small enough to stay in cache, so
+    // the sample reflects arithmetic throughput rather than memory
+    // stalls (an upper bound on recompute speed keeps the threshold
+    // conservative: borderline entries stay cached).
+    constexpr int n = 96;
+    std::vector<double> a(n * n, 1.0), b(n * n, 0.5), c(n * n, 0.0);
+    const auto gemm_start = Clock::now();
+    for (int i = 0; i < n; ++i) {
+      for (int k = 0; k < n; ++k) {
+        const double aik = a[i * n + k];
+        for (int j = 0; j < n; ++j) c[i * n + j] += aik * b[k * n + j];
+      }
+    }
+    const double gemm_seconds =
+        std::chrono::duration<double>(Clock::now() - gemm_start).count();
+    // Keep the result observable so the loop cannot be optimized away.
+    volatile double sink = c[0] + c[n * n - 1];
+    (void)sink;
+    const double flops_per_sec =
+        2.0 * n * n * n / std::max(gemm_seconds, 1e-9);
+
+    // Serve side: a memcpy sweep large enough to spill cache, modelling
+    // what a matcache hit actually costs (copying the value out).
+    constexpr size_t kCopyBytes = size_t{8} << 20;
+    constexpr int kCopyReps = 4;
+    std::vector<char> src(kCopyBytes, 1), dst(kCopyBytes, 0);
+    const auto copy_start = Clock::now();
+    for (int rep = 0; rep < kCopyReps; ++rep) {
+      std::memcpy(dst.data(), src.data(), kCopyBytes);
+      src[0] = dst[kCopyBytes - 1];  // serialize the reps
+    }
+    const double copy_seconds =
+        std::chrono::duration<double>(Clock::now() - copy_start).count();
+    const double bytes_per_sec =
+        static_cast<double>(kCopyBytes) * kCopyReps /
+        std::max(copy_seconds, 1e-9);
+
+    // Break-even density: recompute time == serve time at exactly
+    // flops_per_sec / bytes_per_sec FLOPs per byte.
+    return std::clamp(flops_per_sec / bytes_per_sec, 0.05, 64.0);
+  }();
+  return measured;
 }
 
 }  // namespace remac

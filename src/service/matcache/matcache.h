@@ -45,7 +45,8 @@ struct MatCacheOptions {
   ///       admit_flops_per_byte * bytes.
   /// Probes count every Get for the key (a ghost-frequency map), so an
   /// intermediate nobody asked for twice must be proportionally cheap
-  /// per byte to earn residency. 0 admits everything that fits.
+  /// per byte to earn residency. 0 admits everything that fits;
+  /// MeasuredAdmitFlopsPerByte() derives a machine-specific default.
   double admit_flops_per_byte = 0.0;
   /// Single-flight: concurrent misses on one key compute once, the rest
   /// wait for the leader's result (see MatExecContext).
@@ -191,6 +192,16 @@ class MatCache {
   std::atomic<int64_t> flight_waits_{0};
   std::atomic<double> flops_saved_{0.0};
 };
+
+/// Derives a machine-specific admission threshold for
+/// MatCacheOptions::admit_flops_per_byte: the break-even FLOP density at
+/// which recomputing an intermediate takes as long as copying it out of
+/// the cache. Measured once per process (a tiny naive GEMM for
+/// flops/sec, a memcpy sweep for bytes/sec) and clamped to [0.05, 64] so
+/// a noisy timing sample cannot produce an absurd knob. Entries below
+/// the returned density are faster to recompute than to serve, so
+/// caching them only burns budget.
+double MeasuredAdmitFlopsPerByte();
 
 }  // namespace remac
 

@@ -54,11 +54,18 @@ void AtomicAdd(std::atomic<double>* target, double delta) {
   }
 }
 
+/// Negative admission knob = "derive from this machine": measure the
+/// break-even recompute-vs-serve FLOP density once per process.
+double ResolveAdmitFlopsPerByte(double knob) {
+  return knob < 0.0 ? MeasuredAdmitFlopsPerByte() : knob;
+}
+
 }  // namespace
 
 std::string PlanConfigDigest(const RunConfig& config) {
   std::string digest = StringFormat(
-      "o%d,e%d,g%d,c%d,s%d,i%d,tb%lld,eb%lld,w%d,f%.6g,l%.6g,m%lld,bs%lld",
+      "o%d,e%d,g%d,c%d,s%d,i%d,tb%lld,eb%lld,w%d,f%.6g,l%.6g,m%lld,bs%lld,"
+      "d%d",
       static_cast<int>(config.optimizer), static_cast<int>(config.estimator),
       static_cast<int>(config.engine), static_cast<int>(config.combiner),
       static_cast<int>(config.search), config.max_iterations,
@@ -67,7 +74,8 @@ std::string PlanConfigDigest(const RunConfig& config) {
       config.cluster.num_workers, config.cluster.flops_per_sec,
       config.cluster.local_flops_per_sec,
       static_cast<long long>(config.cluster.driver_memory_bytes),
-      static_cast<long long>(config.cluster.block_size));
+      static_cast<long long>(config.cluster.block_size),
+      static_cast<int>(config.cluster.dist2d));
   for (const std::string& key : config.forced_option_keys) {
     digest += '+';
     digest += key;
@@ -82,7 +90,8 @@ PlanService::PlanService(const DataCatalog* catalog, ServiceOptions options)
       mat_cache_(MatCacheOptions{
           .capacity_bytes = options.mat_cache_bytes,
           .shards = options.mat_cache_shards,
-          .admit_flops_per_byte = options.mat_admit_flops_per_byte,
+          .admit_flops_per_byte =
+              ResolveAdmitFlopsPerByte(options.mat_admit_flops_per_byte),
           .single_flight = options.mat_single_flight,
       }) {}
 

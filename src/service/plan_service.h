@@ -94,7 +94,11 @@ struct ServiceOptions {
   /// MatCacheOptions for the semantics of each knob.
   int64_t mat_cache_bytes = 256ll << 20;
   int mat_cache_shards = 8;
-  double mat_admit_flops_per_byte = 0.0;
+  /// Admission FLOP density. Negative (the default) derives the
+  /// break-even recompute-vs-serve density from a one-time measurement
+  /// (MeasuredAdmitFlopsPerByte); 0 admits everything that fits;
+  /// positive values are passed through verbatim.
+  double mat_admit_flops_per_byte = -1.0;
   bool mat_single_flight = true;
 };
 

@@ -442,5 +442,35 @@ TEST(MatCacheConcurrency, ConcurrentMissesComputeTheIntermediateOnce) {
   ThreadPool::SetGlobalThreads(0);
 }
 
+TEST(MatCache, MeasuredAdmitThresholdClampedAndStable) {
+  const double measured = MeasuredAdmitFlopsPerByte();
+  // The derived break-even density must land inside the clamp window and
+  // be measured once per process (repeat calls return the same sample).
+  EXPECT_GE(measured, 0.05);
+  EXPECT_LE(measured, 64.0);
+  EXPECT_DOUBLE_EQ(measured, MeasuredAdmitFlopsPerByte());
+}
+
+TEST(MatCache, NegativeServiceKnobDerivesPositiveThreshold) {
+  // The service default (-1) must resolve to the measured threshold, not
+  // admit-everything: an entry with near-zero recompute FLOPs and a big
+  // footprint gets rejected.
+  ServiceOptions options;
+  EXPECT_LT(options.mat_admit_flops_per_byte, 0.0);
+  MatCache cache(MatCacheOptions{
+      .capacity_bytes = 64 << 20,
+      .shards = 2,
+      .admit_flops_per_byte = MeasuredAdmitFlopsPerByte(),
+  });
+  DenseMatrix dense(256, 256);
+  for (int64_t i = 0; i < dense.size(); ++i) dense.data()[i] = 1.0;
+  RtValue value;
+  value.matrix = Matrix::FromDense(std::move(dense));
+  cache.Offer("cheap-but-fat", std::move(value), /*predicted_flops=*/1.0,
+              {});
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.stats().rejects, 1);
+}
+
 }  // namespace
 }  // namespace remac

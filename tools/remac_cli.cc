@@ -70,6 +70,7 @@ int Usage() {
                "[--print VAR] [--repeat N] [--cache-size N] "
                "[--mat-cache-mb N] [--threads N] "
                "[--chaos SEED] [--deadline SEC] "
+               "[--dist2d auto|off|force2d] "
                "[--stats] [--metrics-out PATH]\n"
                "       remac datasets\n"
                "       remac gen NAME OUT.mtx\n");
@@ -102,6 +103,13 @@ Result<EngineKind> ParseEngine(const std::string& name) {
   if (name == "pbdr") return EngineKind::kPbdR;
   if (name == "scidb") return EngineKind::kSciDb;
   return Status::InvalidArgument("unknown engine '" + name + "'");
+}
+
+Result<Dist2DMode> ParseDist2D(const std::string& name) {
+  if (name == "auto") return Dist2DMode::kAuto;
+  if (name == "off") return Dist2DMode::kOff;
+  if (name == "force2d") return Dist2DMode::kForce2D;
+  return Status::InvalidArgument("unknown dist2d mode '" + name + "'");
 }
 
 /// "NAME" or "NAME:ALIAS" — generates built-in dataset NAME and registers
@@ -151,10 +159,34 @@ void PrintValue(const std::string& name, const RtValue& value) {
   if (show_rows < m.rows()) std::printf("  ...\n");
 }
 
+/// Prints the physical layout the cost model stamped on every multiply
+/// (PlanNode::layout, from AnnotateMultiplyLayouts) — the per-operator
+/// 1D-vs-2D decision record for `remac run --stats`.
+void PrintMultiplyLayouts(const PlanNode& node) {
+  for (const auto& child : node.children) PrintMultiplyLayouts(*child);
+  if (node.op == PlanOp::kMatMul) {
+    std::printf("  %-9s %s\n", MultiplyLayoutName(node.layout),
+                node.ToString().c_str());
+  }
+}
+
+void PrintMultiplyLayouts(const std::vector<CompiledStmt>& statements) {
+  for (const CompiledStmt& stmt : statements) {
+    if (stmt.plan != nullptr) PrintMultiplyLayouts(*stmt.plan);
+    if (stmt.condition != nullptr) PrintMultiplyLayouts(*stmt.condition);
+    PrintMultiplyLayouts(stmt.body);
+  }
+}
+
 /// --stats / --metrics-out epilogue shared by run and serve.
 int EmitTelemetry(bool show_stats, const std::string& metrics_out,
-                  const CostAuditRecord* audit) {
+                  const CostAuditRecord* audit,
+                  const CompiledProgram* program = nullptr) {
   if (show_stats) {
+    if (program != nullptr) {
+      std::printf("--- multiply layouts ---\n");
+      PrintMultiplyLayouts(program->statements);
+    }
     std::printf("--- telemetry ---\n");
     if (audit != nullptr) std::printf("%s", audit->ToString().c_str());
     std::printf("%s\n", MetricsRegistry::Global().ToJson().c_str());
@@ -320,6 +352,16 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr, "--deadline expects a positive number\n");
         return 2;
       }
+    } else if (arg == "--dist2d") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      auto mode = ParseDist2D(value);
+      if (!mode.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     mode.status().ToString().c_str());
+        return 2;
+      }
+      config.cluster.dist2d = mode.value();
     } else if (arg == "--stats") {
       show_stats = true;
     } else if (arg == "--metrics-out") {
@@ -474,7 +516,8 @@ int Main(int argc, char** argv) {
       }
       PrintValue(var, it->second);
     }
-    return EmitTelemetry(show_stats, metrics_out, &r.run.audit);
+    return EmitTelemetry(show_stats, metrics_out, &r.run.audit,
+                         r.run.optimized_program.get());
   }
 
   auto run = command == "run"
@@ -521,7 +564,8 @@ int Main(int argc, char** argv) {
     PrintValue(var, it->second);
   }
   return EmitTelemetry(show_stats, metrics_out,
-                       command == "run" ? &run->audit : nullptr);
+                       command == "run" ? &run->audit : nullptr,
+                       run->optimized_program.get());
 }
 
 }  // namespace
