@@ -3,20 +3,19 @@
 //
 //   bench_service [--quick] [--json] [--repeat=N] [--cache-size=N]
 //
-// Three measurements:
+// Two measurements:
 //   1. cold vs warm latency on the repeated-DFP workload (the paper's
 //      optimizer-heavy script): the warm path must skip parse+optimize,
 //      so warm latency is essentially pure execution;
-//   2. a mixed four-script workload (GD/DFP/BFGS/GNMF) driven through
-//      concurrent sessions at 1/2/8 pool threads;
-//   3. cross-session intermediate reuse: distinct programs sharing one
+//   2. cross-session intermediate reuse: distinct programs sharing one
 //      wide Gram chain, with the materialized-intermediate cache off
 //      (every session recomputes the chain) and on (computed once,
 //      served to the rest). The reuse speedup is a hard >= 2x gate —
 //      scripts/check.sh runs this benchmark and fails on regression.
 //
-// --json prints one machine-readable line per measurement and writes a
-// BENCH_service.json summary record for the perf trajectory.
+// --json prints one machine-readable line per measurement. Open-loop
+// latency/throughput sweeps (and BENCH_service.json) moved to
+// bench_load, the load harness with Zipf-skewed arrivals.
 
 #include <chrono>
 #include <cstdio>
@@ -86,16 +85,6 @@ RunConfig ServiceConfig() {
   return config;
 }
 
-struct ThreadPoint {
-  int threads = 0;
-  int requests = 0;
-  double wall_seconds = 0.0;
-  double rps = 0.0;
-  int64_t hits = 0;
-  int64_t misses = 0;
-  int64_t single_flight_waits = 0;
-};
-
 }  // namespace
 
 int BenchServiceMain(int argc, char** argv) {
@@ -155,62 +144,7 @@ int BenchServiceMain(int argc, char** argv) {
                 cold_seconds, warm_mean_seconds, speedup, options.repeat);
   }
 
-  // --- 2. mixed workload through concurrent sessions ----------------
-  const std::vector<std::string> scripts = {
-      GdScript("svc", 20), DfpScript("svc", 20), BfgsScript("svc", 20),
-      GnmfScript("svc", 4, 20)};
-  const std::vector<int> thread_counts =
-      options.quick ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 8};
-  const int total_requests = 4 * options.repeat;
-  std::vector<ThreadPoint> points;
-  for (const int threads : thread_counts) {
-    ThreadPool::SetGlobalThreads(threads);
-    PlanService service(&catalog, service_options);
-    PlanService::Session session = service.NewSession();
-    const auto start = Clock::now();
-    for (int k = 0; k < total_requests; ++k) {
-      session.Submit(
-          ServiceRequest{scripts[k % scripts.size()], ServiceConfig()});
-    }
-    const auto results = session.Wait();
-    ThreadPoint point;
-    point.threads = threads;
-    point.requests = total_requests;
-    point.wall_seconds = SecondsSince(start);
-    for (const auto& result : results) {
-      if (!result.ok()) {
-        std::fprintf(stderr, "error: %s\n",
-                     result.status().ToString().c_str());
-        return 1;
-      }
-    }
-    const ServiceStats stats = service.stats();
-    point.rps = point.requests / point.wall_seconds;
-    point.hits = stats.cache.hits;
-    point.misses = stats.cache.misses;
-    point.single_flight_waits = stats.single_flight_waits;
-    points.push_back(point);
-    std::printf("mixed x%-3d threads %d: %s wall, %.1f req/s, "
-                "%lld hits / %lld misses, %lld single-flight wait(s)\n",
-                point.requests, point.threads,
-                HumanSeconds(point.wall_seconds).c_str(), point.rps,
-                static_cast<long long>(point.hits),
-                static_cast<long long>(point.misses),
-                static_cast<long long>(point.single_flight_waits));
-    if (options.json) {
-      std::printf("{\"bench\": \"service\", \"phase\": \"mixed\", "
-                  "\"threads\": %d, \"requests\": %d, \"wall_seconds\": "
-                  "%.9g, \"rps\": %.3f, \"hits\": %lld, \"misses\": %lld, "
-                  "\"single_flight_waits\": %lld}\n",
-                  point.threads, point.requests, point.wall_seconds,
-                  point.rps, static_cast<long long>(point.hits),
-                  static_cast<long long>(point.misses),
-                  static_cast<long long>(point.single_flight_waits));
-    }
-  }
-  ThreadPool::SetGlobalThreads(0);
-
-  // --- 3. cross-session intermediate reuse --------------------------
+  // --- 2. cross-session intermediate reuse --------------------------
   // Each "session" is a distinct program (distinct plan-cache key)
   // sharing one wide Gram chain t(W) %*% W that dominates its runtime.
   // With the matcache off every session recomputes the chain; with it
@@ -275,42 +209,6 @@ int BenchServiceMain(int argc, char** argv) {
                 "\"hit_ratio\": %.4f, \"flops_saved\": %.9g}\n",
                 kSessions, no_reuse_wall, reuse_wall, reuse_speedup,
                 hit_ratio, flops_saved);
-  }
-
-  // --- 4. BENCH_service.json summary record -------------------------
-  if (options.json) {
-    FILE* out = std::fopen("BENCH_service.json", "w");
-    if (out == nullptr) {
-      std::fprintf(stderr, "cannot write BENCH_service.json\n");
-      return 1;
-    }
-    std::fprintf(out,
-                 "{\"bench\": \"service\", \"workload\": \"repeated-dfp\", "
-                 "\"repeat\": %d, \"cache_capacity\": %zu, "
-                 "\"cold_seconds\": %.9g, \"warm_mean_seconds\": %.9g, "
-                 "\"warm_speedup\": %.3f, \"threads\": [",
-                 options.repeat, options.cache_size, cold_seconds,
-                 warm_mean_seconds, speedup);
-    for (size_t i = 0; i < points.size(); ++i) {
-      const ThreadPoint& p = points[i];
-      std::fprintf(out,
-                   "%s{\"threads\": %d, \"requests\": %d, \"wall_seconds\": "
-                   "%.9g, \"rps\": %.3f, \"hits\": %lld, \"misses\": %lld, "
-                   "\"single_flight_waits\": %lld}",
-                   i > 0 ? ", " : "", p.threads, p.requests, p.wall_seconds,
-                   p.rps, static_cast<long long>(p.hits),
-                   static_cast<long long>(p.misses),
-                   static_cast<long long>(p.single_flight_waits));
-    }
-    std::fprintf(out,
-                 "], \"matcache\": {\"sessions\": %d, "
-                 "\"no_reuse_wall_seconds\": %.9g, \"reuse_wall_seconds\": "
-                 "%.9g, \"reuse_speedup\": %.3f, \"hit_ratio\": %.4f, "
-                 "\"flops_saved\": %.9g}}\n",
-                 kSessions, no_reuse_wall, reuse_wall, reuse_speedup,
-                 hit_ratio, flops_saved);
-    std::fclose(out);
-    std::printf("wrote BENCH_service.json\n");
   }
 
   // The reuse gate: recomputing a shared chain in every session must be

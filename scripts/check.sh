@@ -12,7 +12,10 @@
 #               transpose-multiply speedup floors; writes
 #               BENCH_kernels.json), then the bench_service
 #               intermediate-reuse gate (matcache serving >= 2x faster
-#               than per-session recompute; writes BENCH_service.json),
+#               than per-session recompute), then the bench_load serving
+#               gate (open-loop Zipf load sweep writing
+#               BENCH_service.json; tracing on-vs-off bitwise identity;
+#               emitted span trees checked by tools/validate_trace.py),
 #               then the bench_distributed 2D-layout gate (SUMMA must
 #               beat 1D on ledger bytes for at least one sparse/skewed
 #               program with bitwise-identical results; writes
@@ -33,7 +36,7 @@ TSAN_DIR="${1:-build-tsan}"
 ASAN_DIR="${2:-build-asan}"
 BENCH_DIR="${3:-build}"
 UBSAN_DIR="${4:-build-ubsan}"
-FILTER='ThreadPool.*:Ledger.*:TaskGraph.*:Sched*.*:Kernels*.*:Fingerprint*.*:PlanCache*.*:Service*.*:MatCache*.*:MatrixBytes.*:Obs*.*:Chaos*.*:Fault*.*'
+FILTER='ThreadPool.*:Ledger.*:TaskGraph.*:Sched*.*:Kernels*.*:Fingerprint*.*:PlanCache*.*:Service*.*:MatCache*.*:MatrixBytes.*:Obs*.*:Chaos*.*:Fault*.*:Trace*.*:Contention*.*'
 
 GATES=()
 RESULTS=()
@@ -122,6 +125,26 @@ bench_smoke_gate() {
     return 1
   fi
   "$sbin" --quick --json | tee "$BENCH_DIR/bench_service.out" || return 1
+  # Serving-tier load gate: bench_load drives the open-loop Zipf workload
+  # (writes BENCH_service.json), exits non-zero when tracing perturbs
+  # results (bitwise on-vs-off identity), and emits per-request span
+  # trees that validate_trace.py checks for rooted-tree integrity
+  # (every parent exists, child intervals and durations within the
+  # parent's).
+  cmake --build "$BENCH_DIR" -j --target bench_load || return 1
+  local lbin="$BENCH_DIR/bench/bench_load"
+  if [[ ! -x "$lbin" ]]; then
+    lbin="$(find "$BENCH_DIR" -name bench_load -type f | head -1)"
+  fi
+  if [[ -z "$lbin" ]]; then
+    echo "error: bench_load binary not found under '$BENCH_DIR'" >&2
+    return 1
+  fi
+  local trace_dir="$BENCH_DIR/bench_load_traces"
+  rm -rf "$trace_dir" && mkdir -p "$trace_dir"
+  "$lbin" --quick --json --trace-dir="$trace_dir" \
+    | tee "$BENCH_DIR/bench_load.out" || return 1
+  python3 tools/validate_trace.py "$trace_dir"/trace-*.json || return 1
   # 2D-layout gate: bench_distributed exits non-zero unless the 2D tiled
   # SUMMA path moves strictly fewer TransmissionLedger bytes than forced
   # 1D on at least one sparse/skewed program, with bitwise-identical

@@ -22,8 +22,9 @@ std::string FormatDouble(double value) {
   return StringFormat("%.9g", value);
 }
 
-/// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's
-/// dot-separated names map dots (and any other byte) to underscores.
+/// Prometheus metric names allow [a-zA-Z0-9_:] and must not start with
+/// a digit; the registry's dot-separated names map dots (and any other
+/// byte) to underscores and prefix a leading digit with '_'.
 std::string PrometheusName(const std::string& name) {
   std::string out = name;
   for (char& c : out) {
@@ -31,6 +32,7 @@ std::string PrometheusName(const std::string& name) {
                     (c >= '0' && c <= '9') || c == '_' || c == ':';
     if (!ok) c = '_';
   }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
   return out;
 }
 
@@ -38,10 +40,26 @@ std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
   }
   return out;
+}
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 }  // namespace
@@ -99,6 +117,34 @@ std::vector<int64_t> Histogram::BucketCounts() const {
     counts[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   return counts;
+}
+
+double HistogramQuantile(const Histogram& histogram, double q) {
+  const std::vector<int64_t> counts = histogram.BucketCounts();
+  const std::vector<double>& bounds = histogram.bounds();
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (next >= target && counts[i] > 0) {
+      if (i == bounds.size()) {
+        // +Inf overflow bucket: the histogram only knows the value
+        // exceeded every finite bound, so clamp to the top one.
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double fraction =
+          (target - cumulative) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * fraction;
+    }
+    cumulative = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
 }
 
 void Histogram::Reset() {
@@ -264,19 +310,26 @@ std::string MetricsRegistry::ToPrometheus() const {
 }
 
 Status MetricsRegistry::WriteToFile(const std::string& path) const {
-  const bool prometheus = path.size() >= 5 &&
-                          (path.compare(path.size() - 5, 5, ".prom") == 0 ||
-                           path.compare(path.size() - 4, 4, ".txt") == 0);
+  const bool prometheus = HasSuffix(path, ".prom") || HasSuffix(path, ".txt");
   const std::string body =
       prometheus ? ToPrometheus() : ToJson(/*include_histograms=*/true) + "\n";
-  FILE* file = std::fopen(path.c_str(), "w");
+  // Write-temp-then-rename: rename(2) is atomic within a filesystem, so
+  // a scraper reading `path` sees either the previous snapshot or this
+  // one, never a torn prefix.
+  const std::string tmp = path + ".tmp";
+  FILE* file = std::fopen(tmp.c_str(), "w");
   if (file == nullptr) {
-    return Status::Internal("cannot write metrics to '" + path + "'");
+    return Status::Internal("cannot write metrics to '" + tmp + "'");
   }
   const size_t written = std::fwrite(body.data(), 1, body.size(), file);
   std::fclose(file);
   if (written != body.size()) {
-    return Status::Internal("short write to '" + path + "'");
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename '" + tmp + "' to '" + path + "'");
   }
   return Status::OK();
 }

@@ -78,6 +78,15 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// Interpolated quantile (q in [0, 1]) from the histogram's bucket
+/// counts: walks the cumulative distribution to the bucket holding the
+/// q-th observation and interpolates linearly between the bucket's lower
+/// and (inclusive) upper bound. The first bucket's lower edge is 0;
+/// observations in the +Inf overflow bucket clamp to the top finite
+/// bound (the histogram cannot know how far past it they landed). An
+/// empty histogram reports 0.
+double HistogramQuantile(const Histogram& histogram, double q);
+
 /// \brief Thread-safe, lock-sharded registry of named metrics.
 ///
 /// Get* registers on first use and returns a pointer that stays valid
@@ -111,7 +120,9 @@ class MetricsRegistry {
   std::string ToPrometheus() const;
 
   /// Writes a snapshot to `path`; ".prom"/".txt" extensions select the
-  /// Prometheus text format, anything else gets JSON.
+  /// Prometheus text format, anything else gets JSON. The snapshot is
+  /// written to `path + ".tmp"` and atomically renamed into place, so a
+  /// concurrent reader (scraper) never observes a torn file.
   Status WriteToFile(const std::string& path) const;
 
   /// Zeroes every registered metric in place (pointers stay valid).

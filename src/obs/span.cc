@@ -12,7 +12,12 @@ StageSpan::StageSpan(Histogram* histogram, TraceSink* trace, std::string name,
       name_(std::move(name)),
       category_(category),
       start_(std::chrono::steady_clock::now()) {
-  if (trace_ != nullptr) trace_start_us_ = trace_->NowMicros();
+  if (Tracer::Global().enabled()) ctx_ = CurrentTraceContext();
+  if (trace_ != nullptr || ctx_.active()) {
+    // Both sinks share the process trace epoch, so one stamp serves the
+    // TraceSink event and the request span alike.
+    trace_start_us_ = TraceNowMicros();
+  }
 }
 
 double StageSpan::Stop() {
@@ -28,6 +33,10 @@ double StageSpan::Stop() {
     event.start_us = trace_start_us_;
     event.duration_us = elapsed_seconds_ * 1e6;
     trace_->Record(std::move(event));
+  }
+  if (ctx_.active()) {
+    RecordSpanIn(ctx_, name_.empty() ? "stage" : name_, category_,
+                 trace_start_us_, trace_start_us_ + elapsed_seconds_ * 1e6);
   }
   return elapsed_seconds_;
 }

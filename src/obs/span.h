@@ -5,6 +5,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace remac {
 
@@ -15,7 +16,9 @@ class TraceSink;
 /// Starts a steady-clock timer on construction and, on Stop() or
 /// destruction, records the elapsed seconds into a registry histogram
 /// and (when a sink is attached) emits a Chrome-trace event so pipeline
-/// stages appear on the same timeline as executor tasks.
+/// stages appear on the same timeline as executor tasks. When the
+/// calling thread carries an active TraceContext the span is also
+/// recorded into the request's span tree under its current parent.
 ///
 ///   StageSpan span(registry.GetHistogram("remac.compile.parse_seconds"),
 ///                  trace, "parse");
@@ -39,6 +42,7 @@ class StageSpan {
  private:
   Histogram* histogram_;
   TraceSink* trace_;
+  TraceContext ctx_;
   std::string name_;
   const char* category_;
   std::chrono::steady_clock::time_point start_;

@@ -84,7 +84,7 @@ Status Executor::Run(const std::vector<CompiledStmt>& statements,
                      int max_loop_iterations) {
   for (const auto& stmt : statements) {
     if (stmt.kind == CompiledStmt::Kind::kAssign) {
-      StageSpan span(Metrics().statement_seconds);
+      StageSpan span(Metrics().statement_seconds, nullptr, "statement");
       REMAC_ASSIGN_OR_RETURN(RtValue value, Eval(*stmt.plan));
       Set(stmt.target, std::move(value));
       continue;
@@ -279,7 +279,7 @@ Result<RtValue> Executor::EvalBinary(const PlanNode& node) {
                                          model_, ledger_);
       return RtValue::FromMatrix(std::move(out.value), out.distributed);
     }
-    StageSpan span(Metrics().multiply_seconds);
+    StageSpan span(Metrics().multiply_seconds, nullptr, "multiply");
     REMAC_ASSIGN_OR_RETURN(
         DistValue out,
         ExecMultiply(lhs.matrix, lhs.distributed, /*a_transposed=*/false,
@@ -297,7 +297,7 @@ Result<RtValue> Executor::EvalBinary(const PlanNode& node) {
     default:
       return Status::Internal("bad elementwise op");
   }
-  StageSpan span(Metrics().elementwise_seconds);
+  StageSpan span(Metrics().elementwise_seconds, nullptr, "elementwise");
   REMAC_ASSIGN_OR_RETURN(
       DistValue out,
       ExecElementwise(kind, lhs.matrix, lhs.distributed, rhs.matrix,
@@ -346,7 +346,7 @@ Result<RtValue> Executor::EvalImpl(const PlanNode& node) {
       if (child.is_scalar) return child;
       ++ops_executed_;
       Metrics().ops->Add();
-      StageSpan span(Metrics().transpose_seconds);
+      StageSpan span(Metrics().transpose_seconds, nullptr, "transpose");
       DistValue out =
           ExecTranspose(child.matrix, child.distributed, model_, ledger_);
       return RtValue::FromMatrix(std::move(out.value), out.distributed);
@@ -370,7 +370,7 @@ Result<RtValue> Executor::EvalImpl(const PlanNode& node) {
       }
       ++ops_executed_;
       Metrics().ops->Add();
-      StageSpan span(Metrics().multiply_seconds);
+      StageSpan span(Metrics().multiply_seconds, nullptr, "multiply");
       REMAC_ASSIGN_OR_RETURN(
           DistValue out,
           ExecMultiply(a.matrix, a.distributed, lt, b.matrix, b.distributed,

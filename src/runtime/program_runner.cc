@@ -87,13 +87,15 @@ Result<RunReport> RunInternal(const std::string& source,
   MetricsRegistry& registry = MetricsRegistry::Global();
   RunReport report;
   StageSpan parse_span(
-      registry.GetHistogram("remac.compile.parse_seconds"));
+      registry.GetHistogram("remac.compile.parse_seconds"), nullptr,
+      "parse");
   REMAC_ASSIGN_OR_RETURN(const CompiledProgram program,
                          CompileScript(source, catalog));
   parse_span.Stop();
 
   StageSpan optimize_span(
-      registry.GetHistogram("remac.compile.optimize_seconds"));
+      registry.GetHistogram("remac.compile.optimize_seconds"), nullptr,
+      "optimize");
   const auto compile_start = std::chrono::steady_clock::now();
   REMAC_ASSIGN_OR_RETURN(
       CompiledProgram optimized,
@@ -235,8 +237,13 @@ Status ExecuteCompiled(const CompiledProgram& optimized,
                            : config.max_iterations;
   MetricsRegistry& registry = MetricsRegistry::Global();
   registry.GetCounter("remac.executor.programs")->Add();
+  // Entered scope: task, kernel and audit spans recorded below — on this
+  // thread or on pool workers the scheduler fans out to — nest under the
+  // request's "execute" span.
+  ScopedTraceSpan trace_span("execute", "stage", /*enter=*/true);
   StageSpan execute_span(
-      registry.GetHistogram("remac.executor.execute_seconds"));
+      registry.GetHistogram("remac.executor.execute_seconds"), nullptr,
+      "execute-measured");
   const LedgerSnapshot before = LedgerSnapshot::Of(*ledger);
   if (config.scheduler == SchedulerKind::kTaskGraph) {
     if (config.pool_threads > 0) {

@@ -7,6 +7,7 @@
 
 #include "common/string_util.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace remac {
 
@@ -137,21 +138,31 @@ Executor ParallelExecutor::MakeTaskExecutor(
   return executor;
 }
 
+double ParallelExecutor::TraceTimestampUs() const {
+  return (trace_ != nullptr || CurrentTraceContext().active())
+             ? TraceNowMicros()
+             : 0.0;
+}
+
 void ParallelExecutor::RecordTrace(const std::string& name,
                                    const char* category, double start_us,
                                    double end_us, double queue_us,
                                    const TransmissionLedger& task_ledger) {
-  if (trace_ == nullptr) return;
-  TraceEvent event;
-  event.name = name;
-  event.category = category;
-  event.thread = ThreadPool::CurrentWorkerId();
-  event.start_us = start_us;
-  event.duration_us = std::max(0.0, end_us - start_us);
-  event.queue_us = queue_us;
-  event.flops = task_ledger.TotalFlops();
-  event.bytes = task_ledger.TotalBytes();
-  trace_->Record(event);
+  if (trace_ != nullptr) {
+    TraceEvent event;
+    event.name = name;
+    event.category = category;
+    event.thread = ThreadPool::CurrentWorkerId();
+    event.start_us = start_us;
+    event.duration_us = std::max(0.0, end_us - start_us);
+    event.queue_us = queue_us;
+    event.flops = task_ledger.TotalFlops();
+    event.bytes = task_ledger.TotalBytes();
+    trace_->Record(event);
+  }
+  // The same completed task lands in the request's span tree (the pool
+  // wrapper installed the submitting request's context on this worker).
+  RecordSpanIn(CurrentTraceContext(), name, category, start_us, end_us);
 }
 
 Status ParallelExecutor::Run(const std::vector<CompiledStmt>& statements,
@@ -258,8 +269,7 @@ Result<ParallelExecutor::ListTimes> ParallelExecutor::RunList(
 
   std::function<void(int)> execute;
   auto submit = [&](int id) {
-    state[static_cast<size_t>(id)].ready_us =
-        trace_ != nullptr ? trace_->NowMicros() : 0.0;
+    state[static_cast<size_t>(id)].ready_us = TraceTimestampUs();
     pool_->Submit([&execute, id] { execute(id); });
   };
   auto fail = [&](Status status) {
@@ -288,7 +298,7 @@ Result<ParallelExecutor::ListTimes> ParallelExecutor::RunList(
                       : static_cast<uint64_t>(prev.rand_count);
         }
       }
-      const double start_us = trace_ != nullptr ? trace_->NowMicros() : 0.0;
+      const double start_us = TraceTimestampUs();
       if (node.stmt->kind == CompiledStmt::Kind::kAssign) {
         // Chaos runs retry failed attempts: every attempt re-evaluates
         // from the same rand base with a fresh private ledger, so a
@@ -365,8 +375,7 @@ Result<ParallelExecutor::ListTimes> ParallelExecutor::RunList(
           ns.cost_critical = cost + lost_cost;
           AtomicAdd(serial_seconds_, cost + lost_cost);
           if (ledger_ != nullptr) ledger_->MergeFrom(task_ledger);
-          RecordTrace(node.label, "task", start_us,
-                      trace_ != nullptr ? trace_->NowMicros() : 0.0,
+          RecordTrace(node.label, "task", start_us, TraceTimestampUs(),
                       std::max(0.0, start_us - ns.ready_us), task_ledger);
           break;
         }
@@ -380,9 +389,9 @@ Result<ParallelExecutor::ListTimes> ParallelExecutor::RunList(
           ns.cost_critical = loop->critical_path_seconds;
           ns.consumed.store(loop->rand_consumed, std::memory_order_release);
         }
-        if (trace_ != nullptr) {
+        if (trace_ != nullptr || CurrentTraceContext().active()) {
           TransmissionLedger empty(model_);
-          RecordTrace(node.label, "loop", start_us, trace_->NowMicros(),
+          RecordTrace(node.label, "loop", start_us, TraceTimestampUs(),
                       std::max(0.0, start_us - ns.ready_us), empty);
         }
       }
@@ -469,7 +478,7 @@ Result<ParallelExecutor::ListTimes> ParallelExecutor::RunLoop(
       Executor executor = MakeTaskExecutor(
           std::vector<std::string>(cond_reads.begin(), cond_reads.end()),
           &cond_ledger, before);
-      const double start_us = trace_ != nullptr ? trace_->NowMicros() : 0.0;
+      const double start_us = TraceTimestampUs();
       REMAC_ASSIGN_OR_RETURN(const RtValue cond,
                              executor.Eval(*stmt.condition));
       REMAC_ASSIGN_OR_RETURN(const double flag, cond.AsScalar());
@@ -481,9 +490,8 @@ Result<ParallelExecutor::ListTimes> ParallelExecutor::RunLoop(
       total.critical_path_seconds += cost;
       AtomicAdd(serial_seconds_, cost);
       if (ledger_ != nullptr) ledger_->MergeFrom(cond_ledger);
-      RecordTrace("loop-cond", "condition", start_us,
-                  trace_ != nullptr ? trace_->NowMicros() : 0.0, 0.0,
-                  cond_ledger);
+      RecordTrace("loop-cond", "condition", start_us, TraceTimestampUs(),
+                  0.0, cond_ledger);
       if (flag == 0.0) break;
     }
     REMAC_ASSIGN_OR_RETURN(

@@ -134,9 +134,14 @@ class ParallelExecutor {
   RtValue StoreGetOr(const std::string& name, bool* found) const;
   void StoreSet(const std::string& name, RtValue value);
 
+  /// Records a completed task into the attached TraceSink (when set) and
+  /// into the calling thread's request TraceContext (when active) — both
+  /// on the shared process trace epoch.
   void RecordTrace(const std::string& name, const char* category,
                    double start_us, double end_us, double queue_us,
                    const TransmissionLedger& task_ledger);
+  /// Trace clock when any sink could use it, else 0 (no clock read).
+  double TraceTimestampUs() const;
 
   ClusterModel model_;
   const DataCatalog* catalog_;

@@ -1,8 +1,10 @@
 #include "sched/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace remac {
 
@@ -19,6 +21,11 @@ struct PoolMetrics {
   Counter* steals = MetricsRegistry::Global().GetCounter("remac.pool.steals");
   Gauge* peak_queue_depth =
       MetricsRegistry::Global().GetGauge("remac.pool.peak_queue_depth");
+  /// Submit-to-start latency, observed only while contention profiling
+  /// is on (obs/trace_context Tracer) — the disabled path reads no
+  /// clocks on submit or execution.
+  Histogram* queue_seconds = MetricsRegistry::Global().GetHistogram(
+      "remac.contention.pool_queue_seconds");
 };
 
 PoolMetrics& Metrics() {
@@ -66,6 +73,21 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
+  if (Tracer::Global().any_active()) {
+    // Profiling wrapper: stamp the submit time and carry the submitter's
+    // trace context into the task, so (a) submit-to-start queue latency
+    // lands in remac.contention.pool_queue_seconds and (b) spans the
+    // task records join the submitting request's tree even though it
+    // runs on an arbitrary worker.
+    fn = [fn = std::move(fn), ctx = CurrentTraceContext(),
+          submit_us = TraceNowMicros()] {
+      const double start_us = TraceNowMicros();
+      Metrics().queue_seconds->Observe((start_us - submit_us) * 1e-6);
+      RecordWaitSpanIn(ctx, "pool-queue", submit_us, start_us);
+      TraceContextScope scope(ctx);
+      fn();
+    };
+  }
   const size_t target = next_queue_.fetch_add(1, std::memory_order_relaxed) %
                         queues_.size();
   {

@@ -1,19 +1,13 @@
 #include "sched/trace.h"
 
-#include <chrono>
 #include <cstdio>
 
 #include "common/string_util.h"
+#include "obs/trace_context.h"
 
 namespace remac {
 
 namespace {
-
-double SteadyMicros() {
-  return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 /// Minimal JSON string escaping (labels are identifiers in practice).
 std::string JsonEscape(const std::string& in) {
@@ -32,14 +26,18 @@ std::string JsonEscape(const std::string& in) {
 
 }  // namespace
 
-TraceSink::TraceSink() : origin_us_(SteadyMicros()) {}
+TraceSink::TraceSink() : origin_us_(0.0) {}
 
 void TraceSink::Record(TraceEvent event) {
   std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(event));
 }
 
-double TraceSink::NowMicros() const { return SteadyMicros() - origin_us_; }
+double TraceSink::NowMicros() const {
+  // Shared process epoch (obs/trace_context): sink events and request
+  // spans carry directly comparable timestamps.
+  return TraceNowMicros() - origin_us_;
+}
 
 std::vector<TraceEvent> TraceSink::Events() const {
   std::lock_guard<std::mutex> lock(mu_);

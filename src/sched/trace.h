@@ -10,8 +10,9 @@
 
 namespace remac {
 
-/// One completed task execution, in wall-clock microseconds relative to
-/// the owning sink's construction.
+/// One completed task execution, in wall-clock microseconds on the
+/// process-wide trace clock (obs/trace_context TraceNowMicros), so sink
+/// events and request spans share one epoch.
 struct TraceEvent {
   std::string name;      // task label (assignment target, "loop", ...)
   std::string category;  // "task", "loop", "condition"
@@ -37,7 +38,7 @@ class TraceSink {
 
   void Record(TraceEvent event);
 
-  /// Microseconds elapsed since the sink was created (event timestamps).
+  /// Microseconds on the shared process trace clock (event timestamps).
   double NowMicros() const;
 
   std::vector<TraceEvent> Events() const;
@@ -50,7 +51,7 @@ class TraceSink {
  private:
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
-  /// Steady-clock origin, in microseconds since an arbitrary epoch.
+  /// Offset subtracted from the shared process clock (0: raw epoch).
   double origin_us_ = 0.0;
 };
 

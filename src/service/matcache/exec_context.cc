@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace_context.h"
 #include "sched/thread_pool.h"
 
 namespace remac {
@@ -93,7 +94,7 @@ const RtValue* MatExecContext::Lookup(const PlanNode* node) {
   // Pure waiter: block on the leader's result, helping drain the shared
   // pool meanwhile so a fleet of waiting sessions cannot starve the
   // leader's nested tasks.
-  cache_->RecordFlightWait();
+  const double wait_start_us = TraceNowMicros();
   if (ThreadPool::CurrentWorkerId() >= 0) {
     while (true) {
       {
@@ -105,6 +106,9 @@ const RtValue* MatExecContext::Lookup(const PlanNode* node) {
   }
   std::shared_ptr<const MaterializedIntermediate> served =
       cache_->WaitFlight(flight.get());
+  const double wait_end_us = TraceNowMicros();
+  cache_->RecordFlightWait((wait_end_us - wait_start_us) * 1e-6);
+  RecordWaitSpan("matcache-flight-wait", wait_start_us, wait_end_us);
 
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.flight_waits;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace remac {
 
@@ -16,6 +17,14 @@ namespace {
 /// Global mirrors of the per-instance counters (instances are the exact
 /// per-cache view; these aggregate across every cache).
 struct MatCacheMetrics {
+  /// Contended shard-lock wait (TimedMutexLock; only observed while
+  /// contention profiling is on).
+  Histogram* lock_wait = MetricsRegistry::Global().GetHistogram(
+      "remac.contention.matcache_lock_seconds");
+  /// How long single-flight followers actually blocked on a leader
+  /// (always observed — the wait itself dwarfs the clock reads).
+  Histogram* flight_wait_seconds = MetricsRegistry::Global().GetHistogram(
+      "remac.matcache.flight_wait_seconds");
   Counter* probes =
       MetricsRegistry::Global().GetCounter("remac.matcache.probes");
   Counter* hits = MetricsRegistry::Global().GetCounter("remac.matcache.hits");
@@ -65,6 +74,7 @@ double BenefitScore(const MaterializedIntermediate& entry) {
 }  // namespace
 
 MatCache::MatCache(MatCacheOptions options) : options_(options) {
+  Metrics();  // register the remac.matcache.* family up front
   const int64_t capacity = std::max<int64_t>(options_.capacity_bytes, 0);
   const size_t n = static_cast<size_t>(
       std::clamp<int>(options_.shards <= 0 ? 1 : options_.shards, 1, 64));
@@ -101,7 +111,7 @@ std::shared_ptr<const MaterializedIntermediate> MatCache::Get(
   Metrics().probes->Add();
   ProbeCount(key);
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  TimedMutexLock lock(shard.mu, Metrics().lock_wait, "matcache-lock");
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -181,7 +191,7 @@ std::shared_ptr<const MaterializedIntermediate> MatCache::Offer(
     return entry;  // still published to followers, just not resident
   }
 
-  std::lock_guard<std::mutex> lock(shard.mu);
+  TimedMutexLock lock(shard.mu, Metrics().lock_wait, "matcache-lock");
   auto it = shard.index.find(key);
   if (it != shard.index.end()) RemoveLocked(&shard, it->second);
   shard.lru.push_front(Entry{key, entry});
@@ -259,9 +269,12 @@ std::shared_ptr<const MaterializedIntermediate> MatCache::WaitFlight(
   return flight->served;
 }
 
-void MatCache::RecordFlightWait() {
+void MatCache::RecordFlightWait(double wait_seconds) {
   flight_waits_.fetch_add(1, std::memory_order_relaxed);
   Metrics().flight_waits->Add();
+  if (wait_seconds >= 0.0) {
+    Metrics().flight_wait_seconds->Observe(wait_seconds);
+  }
 }
 
 void MatCache::RecordFlopsSaved(double flops) {

@@ -139,8 +139,10 @@ class MatCache {
   /// drain it while waiting (exec_context.cc does).
   std::shared_ptr<const MaterializedIntermediate> WaitFlight(Flight* flight);
 
-  /// Counts one flight wait (kept here so stats stay in one place).
-  void RecordFlightWait();
+  /// Counts one flight wait (kept here so stats stay in one place); a
+  /// non-negative duration is also observed into the
+  /// remac.matcache.flight_wait_seconds histogram.
+  void RecordFlightWait(double wait_seconds = -1.0);
   /// Credits a served hit's predicted recompute cost to flops_saved.
   void RecordFlopsSaved(double flops);
 

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace remac {
 
@@ -12,6 +13,10 @@ namespace {
 /// Global mirrors of the per-instance cache counters (instances are the
 /// exact per-cache view; these aggregate across every cache).
 struct CacheMetrics {
+  /// Contended shard-lock wait (TimedMutexLock; only observed while
+  /// contention profiling is on).
+  Histogram* lock_wait = MetricsRegistry::Global().GetHistogram(
+      "remac.contention.plancache_lock_seconds");
   Counter* hits =
       MetricsRegistry::Global().GetCounter("remac.plancache.hits");
   Counter* misses =
@@ -82,7 +87,7 @@ PlanCache::Shard& PlanCache::ShardFor(const std::string& key) {
 
 std::shared_ptr<const CachedPlan> PlanCache::Get(const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  TimedMutexLock lock(shard.mu, Metrics().lock_wait, "plancache-lock");
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -132,7 +137,7 @@ void PlanCache::Put(const std::string& key,
                             ? plan->resident_bytes
                             : plan->EstimateResidentBytes();
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  TimedMutexLock lock(shard.mu, Metrics().lock_wait, "plancache-lock");
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     resident_bytes_.fetch_add(bytes - it->second->bytes,

@@ -24,6 +24,10 @@ struct ServiceMetrics {
       MetricsRegistry::Global().GetCounter("remac.service.cold_misses");
   Counter* flight_waits =
       MetricsRegistry::Global().GetCounter("remac.service.flight_waits");
+  /// How long single-flight followers actually blocked on a leader's
+  /// optimize — the duration behind the flight_waits count.
+  Histogram* flight_wait_seconds = MetricsRegistry::Global().GetHistogram(
+      "remac.service.flight_wait_seconds");
   Histogram* request_seconds = MetricsRegistry::Global().GetHistogram(
       "remac.service.request_seconds");
   Histogram* warm_seconds =
@@ -99,16 +103,20 @@ Result<std::shared_ptr<const CachedPlan>> PlanService::BuildPlan(
     const ServiceRequest& request, uint64_t program_hash,
     const std::string& metadata_key, RequestTiming* timing) {
   const auto parse_start = Clock::now();
+  ScopedTraceSpan parse_span("parse");
   REMAC_ASSIGN_OR_RETURN(CompiledProgram compiled,
                          CompileScript(request.source, *catalog_));
+  parse_span.Stop();
   const auto optimize_start = Clock::now();
   timing->parse_seconds +=
       std::chrono::duration<double>(optimize_start - parse_start).count();
   optimizer_invocations_.fetch_add(1, std::memory_order_relaxed);
   CachedPlan plan;
+  ScopedTraceSpan optimize_span("optimize");
   REMAC_ASSIGN_OR_RETURN(
       CompiledProgram optimized,
       OptimizeCompiled(compiled, *catalog_, request.config, &plan.optimize));
+  optimize_span.Stop();
   timing->optimize_seconds += SecondsSince(optimize_start);
   plan.optimized_source = optimized.ToString();
   plan.program = std::make_shared<const CompiledProgram>(std::move(optimized));
@@ -157,11 +165,24 @@ void PlanService::InvalidateChangedDatasets(
 }
 
 Result<ServiceReport> PlanService::Run(const ServiceRequest& request) {
+  return RunTraced(request, Tracer::Global().StartRequest());
+}
+
+Result<ServiceReport> PlanService::RunTraced(
+    const ServiceRequest& request, std::shared_ptr<RequestTrace> trace) {
   const auto start = Clock::now();
   requests_.fetch_add(1, std::memory_order_relaxed);
   Metrics().requests->Add();
 
+  // Everything below runs under the request's root context: spans opened
+  // here — and in every pool task submitted while it is installed — join
+  // this request's tree. Untraced requests skip the swap entirely.
+  TraceContextScope root_scope(
+      trace != nullptr ? TraceContext{trace, RequestTrace::kRootSpanId}
+                       : TraceContext{});
+
   ServiceReport report;
+  report.trace = trace;
 
   // Identify the program: source-text fast path first, parse once on the
   // first sighting of a script.
@@ -176,6 +197,7 @@ Result<ServiceReport> PlanService::Run(const ServiceRequest& request) {
     }
   }
   if (!known) {
+    ScopedTraceSpan span("fingerprint");
     REMAC_ASSIGN_OR_RETURN(const ProgramFingerprint fp,
                            FingerprintScript(request.source));
     alias.program_hash = fp.hash;
@@ -208,7 +230,11 @@ Result<ServiceReport> PlanService::Run(const ServiceRequest& request) {
       metadata_key + "|" + PlanConfigDigest(request.config);
   report.timing.parse_seconds = SecondsSince(start);
 
-  std::shared_ptr<const CachedPlan> plan = cache_.Get(report.cache_key);
+  std::shared_ptr<const CachedPlan> plan;
+  {
+    ScopedTraceSpan span("plancache-probe");
+    plan = cache_.Get(report.cache_key);
+  }
   report.cache_hit = plan != nullptr;
 
   if (plan == nullptr) {
@@ -236,8 +262,11 @@ Result<ServiceReport> PlanService::Run(const ServiceRequest& request) {
       }
     }
     if (leader) {
+      // Children (parse/optimize) nest under the build span.
+      ScopedTraceSpan build_span("build-plan", "stage", /*enter=*/true);
       auto built = BuildPlan(request, alias.program_hash, metadata_key,
                              &report.timing);
+      build_span.Stop();
       if (built.ok()) {
         plan = std::move(built).value();
         cache_.Put(report.cache_key, plan);
@@ -262,6 +291,7 @@ Result<ServiceReport> PlanService::Run(const ServiceRequest& request) {
       Metrics().flight_waits->Add();
       report.shared_flight = true;
       const auto wait_start = Clock::now();
+      const double wait_start_us = TraceNowMicros();
       if (ThreadPool::CurrentWorkerId() >= 0) {
         // A pool task helps drain the pool while it waits, so a fleet of
         // hammering sessions cannot starve the leader's nested work.
@@ -284,7 +314,10 @@ Result<ServiceReport> PlanService::Run(const ServiceRequest& request) {
         std::unique_lock<std::mutex> lock(flight->mu);
         flight->cv.wait(lock, [&] { return flight->done; });
       }
-      report.timing.optimize_seconds += SecondsSince(wait_start);
+      const double wait_seconds = SecondsSince(wait_start);
+      report.timing.optimize_seconds += wait_seconds;
+      Metrics().flight_wait_seconds->Observe(wait_seconds);
+      RecordWaitSpan("flight-wait", wait_start_us, TraceNowMicros());
       {
         std::lock_guard<std::mutex> lock(flight->mu);
         if (!flight->status.ok()) return flight->status;
@@ -335,6 +368,7 @@ Result<ServiceReport> PlanService::Run(const ServiceRequest& request) {
     std::unique_ptr<MatExecContext> mat_context;
     if (options_.mat_cache_bytes > 0 && plan->intermediates != nullptr &&
         !plan->intermediates->empty()) {
+      ScopedTraceSpan span("matcache-probe");
       mat_context = std::make_unique<MatExecContext>(
           &mat_cache_, plan->intermediates, *catalog_, exec);
       exec.intermediates = mat_context.get();
@@ -372,6 +406,7 @@ Result<ServiceReport> PlanService::Run(const ServiceRequest& request) {
     Metrics().cold_misses->Add();
     Metrics().cold_seconds->Observe(report.timing.total_seconds);
   }
+  if (trace != nullptr) trace->CloseRoot("request");
   return report;
 }
 
@@ -395,9 +430,18 @@ ServiceStats PlanService::stats() const {
 }
 
 void PlanService::Session::Submit(ServiceRequest request) {
+  // Start the trace at submission, not execution: the root span then
+  // covers the session-queue wait, which a loaded pool can make the
+  // dominant part of a request's latency.
+  std::shared_ptr<RequestTrace> trace = Tracer::Global().StartRequest();
+  const double submit_us = trace != nullptr ? TraceNowMicros() : 0.0;
   auto task = std::make_shared<std::packaged_task<Result<ServiceReport>()>>(
-      [service = service_, request = std::move(request)] {
-        return service->Run(request);
+      [service = service_, request = std::move(request), trace, submit_us] {
+        if (trace != nullptr) {
+          RecordWaitSpanIn(TraceContext{trace, RequestTrace::kRootSpanId},
+                           "session-queue", submit_us, TraceNowMicros());
+        }
+        return service->RunTraced(request, trace);
       });
   {
     std::lock_guard<std::mutex> lock(mu_);

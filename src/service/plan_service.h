@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/trace_context.h"
 #include "runtime/program_runner.h"
 #include "sched/thread_pool.h"
 #include "service/matcache/exec_context.h"
@@ -63,6 +64,11 @@ struct ServiceReport {
   /// This request's materialized-intermediate cache interaction: probes,
   /// hits served without recomputation, flights led and waited on.
   MatRequestStats matcache;
+  /// The request's span tree when tracing was enabled (null otherwise).
+  /// One rooted tree: span 1 covers the whole request, every other span
+  /// names its parent. `remac serve --trace-dir` writes one Chrome-trace
+  /// file per request from this.
+  std::shared_ptr<RequestTrace> trace;
 };
 
 struct ServiceStats {
@@ -130,8 +136,15 @@ class PlanService {
   PlanService(const PlanService&) = delete;
   PlanService& operator=(const PlanService&) = delete;
 
-  /// Serves one request on the calling thread.
+  /// Serves one request on the calling thread. Starts a per-request
+  /// trace when Tracer::Global() is enabled.
   Result<ServiceReport> Run(const ServiceRequest& request);
+
+  /// Run under a caller-provided trace (null = untraced). Session uses
+  /// this to start the trace at submission time, so the root span also
+  /// covers the queue wait before the request reached a worker.
+  Result<ServiceReport> RunTraced(const ServiceRequest& request,
+                                  std::shared_ptr<RequestTrace> trace);
 
   ServiceStats stats() const;
   PlanCache& cache() { return cache_; }

@@ -106,6 +106,31 @@ TEST(ObsHistogram, BucketBoundariesAreInclusiveUpperEdges) {
   EXPECT_EQ(hist.BucketCounts(), (std::vector<int64_t>{0, 0, 0, 0}));
 }
 
+TEST(ObsHistogram, QuantileGoldenValues) {
+  // Bounds {1,2,4}; one observation in bucket [0,1], two in (1,2], one
+  // in (2,4]. Exact interpolation goldens, hand-computed:
+  //   p50: target 2 of 4 -> 1 into bucket (1,2] of 2 -> 1 + 1*(1/2)
+  //   p95: target 3.8    -> 0.8 into bucket (2,4] of 1 -> 2 + 2*0.8
+  Histogram hist({1.0, 2.0, 4.0});
+  hist.Observe(0.5);
+  hist.Observe(1.5);
+  hist.Observe(1.7);
+  hist.Observe(3.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(hist, 0.50), 1.5);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(hist, 0.95), 3.6);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(hist, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(hist, 0.0), 0.0);
+}
+
+TEST(ObsHistogram, QuantileOverflowClampsAndEmptyIsZero) {
+  Histogram hist({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(HistogramQuantile(hist, 0.5), 0.0);  // empty
+  hist.Observe(100.0);  // +Inf overflow bucket
+  // The histogram cannot know how far past the top bound the value
+  // landed; the quantile clamps to the top finite bound.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(hist, 0.99), 4.0);
+}
+
 TEST(ObsRegistry, SameNameReturnsSameMetric) {
   MetricsRegistry registry;
   EXPECT_EQ(registry.GetCounter("a"), registry.GetCounter("a"));
@@ -194,6 +219,46 @@ TEST(ObsExport, WriteToFilePicksFormatByExtension) {
   std::remove(json_path.c_str());
   std::remove(prom_path.c_str());
   EXPECT_FALSE(registry.WriteToFile("/nonexistent-dir/x.json").ok());
+}
+
+TEST(ObsExport, PrometheusEscapesHostileNames) {
+  // Leading digit gets a '_' prefix (Prometheus names cannot start with
+  // a digit); every non-[a-zA-Z0-9_:] character becomes '_'.
+  MetricsRegistry registry;
+  registry.GetCounter("9lives.metric-x")->Add(1);
+  const std::string prom = registry.ToPrometheus();
+  EXPECT_NE(prom.find("# TYPE _9lives_metric_x counter\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("_9lives_metric_x 1\n"), std::string::npos);
+}
+
+TEST(ObsExport, JsonEscapesControlCharacters) {
+  MetricsRegistry registry;
+  registry.GetCounter(std::string("bad\"name\\with\n\t\x01" "ctl"))->Add(2);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("bad\\\"name\\\\with\\n\\t\\u0001ctl"),
+            std::string::npos);
+  // No raw control bytes may survive into the emitted JSON.
+  for (char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20);
+  }
+}
+
+TEST(ObsExport, WriteToFileIsAtomicAndShortTxtPicksPrometheus) {
+  MetricsRegistry registry;
+  GoldenRegistry(registry);
+  // The write goes through a temp file + rename: after success the temp
+  // must be gone and the target complete.
+  const std::string path = testing::TempDir() + "/m.txt";  // short name
+  ASSERT_TRUE(registry.WriteToFile(path).ok());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::ifstream in(path);
+  std::ostringstream body;
+  body << in.rdbuf();
+  // ".txt" selects the Prometheus text format even on a 5-char path
+  // (a suffix check, not a positional substring test).
+  EXPECT_EQ(body.str(), registry.ToPrometheus());
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------

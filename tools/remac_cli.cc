@@ -4,6 +4,8 @@
 //   remac serve SCRIPT.dml [options]   repeated requests through the
 //                                      plan service (fingerprinted cache)
 //   remac compile SCRIPT.dml [options] compile only, print the plan
+//   remac trace TRACE.json             summarize a per-request trace file
+//                                      (top wait sources, stage rollup)
 //   remac datasets                     list the built-in paper datasets
 //   remac gen NAME OUT.mtx             generate a paper dataset to a file
 //
@@ -39,12 +41,21 @@
 //                            plus the cost-model accuracy audit) at exit
 //   --metrics-out PATH       dump the metrics registry to PATH at exit
 //                            (.prom/.txt = Prometheus text, else JSON);
-//                            serve mode rewrites it after every request
+//                            serve mode refreshes it while running (at
+//                            most once a second, atomic rename)
+//   --trace-dir DIR          serve mode: enable request tracing and write
+//                            one Chrome-trace JSON per request to
+//                            DIR/trace-<request_id>.json (open with
+//                            chrome://tracing or `remac trace FILE`)
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -54,6 +65,7 @@
 #include "io/matrix_market.h"
 #include "matrix/kernels.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 #include "plan/plan_dot.h"
 #include "runtime/program_runner.h"
 #include "sched/thread_pool.h"
@@ -71,7 +83,8 @@ int Usage() {
                "[--mat-cache-mb N] [--threads N] "
                "[--chaos SEED] [--deadline SEC] "
                "[--dist2d auto|off|force2d] "
-               "[--stats] [--metrics-out PATH]\n"
+               "[--stats] [--metrics-out PATH] [--trace-dir DIR]\n"
+               "       remac trace TRACE.json\n"
                "       remac datasets\n"
                "       remac gen NAME OUT.mtx\n");
   return 2;
@@ -178,6 +191,106 @@ void PrintMultiplyLayouts(const std::vector<CompiledStmt>& statements) {
   }
 }
 
+/// Numeric field extractor for the line-oriented trace JSON the service
+/// emits (one event per line). Returns `fallback` when the key is absent.
+double TraceField(const std::string& line, const std::string& key,
+                  double fallback) {
+  const std::string pattern = "\"" + key + "\":";
+  const size_t pos = line.find(pattern);
+  if (pos == std::string::npos) return fallback;
+  return std::atof(line.c_str() + pos + pattern.size());
+}
+
+std::string TraceStringField(const std::string& line,
+                             const std::string& key) {
+  const std::string pattern = "\"" + key + "\":\"";
+  const size_t pos = line.find(pattern);
+  if (pos == std::string::npos) return "";
+  const size_t start = pos + pattern.size();
+  const size_t end = line.find('"', start);
+  if (end == std::string::npos) return "";
+  return line.substr(start, end - start);
+}
+
+/// `remac trace FILE` — wait-time attribution for one request's span
+/// tree. Wait spans (category "wait") name the contention point they
+/// blocked on: pool-queue, flight-wait, plancache-lock, matcache-lock...
+int TraceSummary(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+    return 1;
+  }
+  struct Bucket {
+    int64_t count = 0;
+    double total_us = 0.0;
+    double max_us = 0.0;
+  };
+  std::map<std::string, Bucket> waits;
+  std::map<std::string, Bucket> categories;
+  int64_t spans = 0;
+  long long request_id = -1;
+  double root_us = 0.0;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (request_id < 0 && line.find("\"remac\"") != std::string::npos) {
+      request_id =
+          static_cast<long long>(TraceField(line, "request_id", -1.0));
+    }
+    if (line.find("\"ph\":\"X\"") == std::string::npos) continue;
+    ++spans;
+    const std::string name = TraceStringField(line, "name");
+    const std::string cat = TraceStringField(line, "cat");
+    const double dur_us = TraceField(line, "dur", 0.0);
+    if (TraceField(line, "span_id", 0.0) == 1.0) root_us = dur_us;
+    Bucket& by_cat = categories[cat];
+    ++by_cat.count;
+    by_cat.total_us += dur_us;
+    by_cat.max_us = std::max(by_cat.max_us, dur_us);
+    if (cat != "wait") continue;
+    Bucket& bucket = waits[name];
+    ++bucket.count;
+    bucket.total_us += dur_us;
+    bucket.max_us = std::max(bucket.max_us, dur_us);
+  }
+  if (spans == 0) {
+    std::fprintf(stderr, "error: no trace events in '%s'\n", path.c_str());
+    return 1;
+  }
+  std::printf("request %lld: %lld span(s), root %s\n", request_id,
+              static_cast<long long>(spans),
+              HumanSeconds(root_us * 1e-6).c_str());
+  std::printf("--- by category ---\n");
+  for (const auto& [cat, b] : categories) {
+    std::printf("  %-10s %6lld span(s)  total %-9s max %s\n", cat.c_str(),
+                static_cast<long long>(b.count),
+                HumanSeconds(b.total_us * 1e-6).c_str(),
+                HumanSeconds(b.max_us * 1e-6).c_str());
+  }
+  if (waits.empty()) {
+    std::printf("no wait spans (nothing blocked for >%.0fus)\n",
+                kWaitSpanFloorUs);
+    return 0;
+  }
+  std::vector<std::pair<std::string, Bucket>> ranked(waits.begin(),
+                                                     waits.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second.total_us > b.second.total_us;
+  });
+  std::printf("--- top wait sources ---\n");
+  for (const auto& [name, b] : ranked) {
+    std::printf("  %-18s %6lld wait(s)  total %-9s max %-9s %s of request\n",
+                name.c_str(), static_cast<long long>(b.count),
+                HumanSeconds(b.total_us * 1e-6).c_str(),
+                HumanSeconds(b.max_us * 1e-6).c_str(),
+                root_us > 0.0
+                    ? StringFormat("%.1f%%", 100.0 * b.total_us / root_us)
+                          .c_str()
+                    : "?");
+  }
+  return 0;
+}
+
 /// --stats / --metrics-out epilogue shared by run and serve.
 int EmitTelemetry(bool show_stats, const std::string& metrics_out,
                   const CostAuditRecord* audit,
@@ -219,6 +332,11 @@ int Main(int argc, char** argv) {
     return 0;
   }
 
+  if (command == "trace") {
+    if (argc != 3) return Usage();
+    return TraceSummary(argv[2]);
+  }
+
   if (command == "gen") {
     if (argc != 4) return Usage();
     DataCatalog catalog;
@@ -251,6 +369,7 @@ int Main(int argc, char** argv) {
   long long mat_cache_mb = 256;
   bool show_stats = false;
   std::string metrics_out;
+  std::string trace_dir;
   double deadline_seconds = 0.0;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -368,6 +487,10 @@ int Main(int argc, char** argv) {
       const char* value = next();
       if (value == nullptr) return Usage();
       metrics_out = value;
+    } else if (arg == "--trace-dir") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      trace_dir = value;
     } else if (arg == "--print-plan") {
       print_plan = true;
     } else if (arg == "--dot") {
@@ -404,6 +527,16 @@ int Main(int argc, char** argv) {
     options.cache_capacity = cache_size;
     options.mat_cache_bytes = static_cast<int64_t>(mat_cache_mb) << 20;
     PlanService service(&catalog, options);
+    if (!trace_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(trace_dir, ec);
+      if (ec) {
+        std::fprintf(stderr, "error: cannot create trace dir '%s': %s\n",
+                     trace_dir.c_str(), ec.message().c_str());
+        return 1;
+      }
+      Tracer::Global().SetEnabled(true);
+    }
     ServiceRequest request{source.str(), config, deadline_seconds};
     Result<ServiceReport> last = Status::Internal("no requests ran");
     std::printf(
@@ -414,6 +547,7 @@ int Main(int argc, char** argv) {
             ? HumanBytes(static_cast<double>(options.mat_cache_bytes))
                   .c_str()
             : "off");
+    auto last_metrics_write = std::chrono::steady_clock::time_point{};
     for (int k = 0; k < repeat; ++k) {
       last = service.Run(request);
       if (!last.ok()) {
@@ -431,10 +565,31 @@ int Main(int argc, char** argv) {
           HumanSeconds(r.timing.total_seconds).c_str(),
           r.degraded ? "  DEGRADED: " : "",
           r.degraded ? r.degraded_reason.c_str() : "");
-      if (!metrics_out.empty()) {
-        // Periodic dump: keep the file fresh while the service runs.
-        (void)MetricsRegistry::Global().WriteToFile(metrics_out);
+      if (!trace_dir.empty() && r.trace != nullptr) {
+        const std::string trace_path =
+            trace_dir + "/trace-" +
+            std::to_string(r.trace->request_id()) + ".json";
+        if (Status st = r.trace->WriteChromeJson(trace_path); !st.ok()) {
+          std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        }
       }
+      if (!metrics_out.empty()) {
+        // Periodic refresh: keep the file fresh while the service runs,
+        // but at most once a second — a hot request stream should not
+        // turn the metrics file into a write bottleneck. The write
+        // itself is atomic (temp file + rename), so a scraper never
+        // sees a torn snapshot; EmitTelemetry writes the final state.
+        const auto now = std::chrono::steady_clock::now();
+        if (now - last_metrics_write >= std::chrono::seconds(1)) {
+          (void)MetricsRegistry::Global().WriteToFile(metrics_out);
+          last_metrics_write = now;
+        }
+      }
+    }
+    if (!trace_dir.empty()) {
+      std::printf("traces: %s/trace-<request_id>.json (summarize with "
+                  "`remac trace FILE`)\n",
+                  trace_dir.c_str());
     }
 
     const ServiceStats stats = service.stats();

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Validate per-request Chrome-trace files emitted by the serving tier.
+
+Usage:
+    validate_trace.py TRACE.json [TRACE.json ...]
+
+Each file is one request's span tree, written by RequestTrace
+(src/obs/trace_context.h) via `remac serve --trace-dir` or
+bench_load --trace-dir=DIR:
+
+    {"remac": {"request_id": N, "dropped": N},
+     "traceEvents": [ {"name": ..., "cat": ..., "ph": "X", "pid": 0,
+                       "tid": T, "ts": ..., "dur": ...,
+                       "args": {"span_id": I, "parent": P,
+                                "request_id": N}}, ... ]}
+
+Checks per file:
+  1. well-formed JSON with a non-empty traceEvents list of complete
+     "X" (duration) events carrying numeric ts/dur and span identity;
+  2. exactly one root span: span_id 1 with parent 0;
+  3. the spans form a tree rooted at span 1 — every parent id exists,
+     no span is its own ancestor (skipped when spans were dropped at
+     the per-request cap, which the header records in remac.dropped);
+  4. interval containment: every child's [ts, ts+dur] lies within its
+     parent's interval, and child duration <= parent duration, up to a
+     rounding epsilon (timestamps are serialized at %.3f us).
+
+Exit status: 0 when every file passes, 1 otherwise.
+"""
+
+import json
+import sys
+
+# %.3f serialization rounds each endpoint by up to 0.5e-3 us; parent and
+# child round independently, so allow a couple of microseconds.
+EPSILON_US = 2.0
+
+
+def fail(path, message):
+    print(f"FAIL {path}: {message}", file=sys.stderr)
+    return False
+
+
+def validate(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        return fail(path, f"unreadable trace: {err}")
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    header = doc.get("remac")
+    if not isinstance(header, dict) or "request_id" not in header:
+        return fail(path, "missing remac header with request_id")
+    dropped = header.get("dropped", 0)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail(path, "traceEvents missing or empty")
+
+    spans = {}
+    for index, event in enumerate(events):
+        where = f"event {index}"
+        if not isinstance(event, dict):
+            return fail(path, f"{where}: not an object")
+        if event.get("ph") != "X":
+            return fail(path, f"{where}: ph is not 'X'")
+        for key in ("ts", "dur"):
+            if not isinstance(event.get(key), (int, float)):
+                return fail(path, f"{where}: {key} is not numeric")
+        if event["dur"] < 0:
+            return fail(path, f"{where}: negative dur")
+        args = event.get("args")
+        if not isinstance(args, dict):
+            return fail(path, f"{where}: missing args")
+        for key in ("span_id", "parent", "request_id"):
+            if not isinstance(args.get(key), int):
+                return fail(path, f"{where}: args.{key} is not an integer")
+        if args["request_id"] != header["request_id"]:
+            return fail(path, f"{where}: request_id mismatch")
+        span_id = args["span_id"]
+        if span_id in spans:
+            return fail(path, f"{where}: duplicate span_id {span_id}")
+        spans[span_id] = {
+            "parent": args["parent"],
+            "start": event["ts"],
+            "end": event["ts"] + event["dur"],
+            "dur": event["dur"],
+            "name": event.get("name", "?"),
+        }
+
+    roots = [i for i, s in spans.items() if s["parent"] == 0]
+    if roots != [1]:
+        return fail(path, f"expected exactly root span 1, found {roots}")
+
+    if dropped:
+        # Spans past the per-request cap were discarded, so parents may
+        # legitimately be missing; tree checks would report false
+        # breakage.
+        return True
+
+    for span_id, span in spans.items():
+        if span_id == 1:
+            continue
+        parent = span["parent"]
+        if parent not in spans:
+            return fail(
+                path,
+                f"span {span_id} ({span['name']}) has unknown parent "
+                f"{parent}",
+            )
+        # Walk to the root to reject cycles; span ids are bounded so the
+        # walk terminates or revisits.
+        seen = {span_id}
+        cursor = parent
+        while cursor != 1:
+            if cursor in seen or cursor not in spans:
+                return fail(path, f"span {span_id}: broken ancestry")
+            seen.add(cursor)
+            cursor = spans[cursor]["parent"]
+        up = spans[parent]
+        if span["start"] < up["start"] - EPSILON_US or span["end"] > up[
+            "end"
+        ] + EPSILON_US:
+            return fail(
+                path,
+                f"span {span_id} ({span['name']}) "
+                f"[{span['start']:.3f}, {span['end']:.3f}] escapes parent "
+                f"{parent} [{up['start']:.3f}, {up['end']:.3f}]",
+            )
+        if span["dur"] > up["dur"] + EPSILON_US:
+            return fail(
+                path,
+                f"span {span_id} ({span['name']}) dur {span['dur']:.3f} "
+                f"exceeds parent {parent} dur {up['dur']:.3f}",
+            )
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    ok = True
+    for path in argv[1:]:
+        if validate(path):
+            print(f"OK   {path}")
+        else:
+            ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
