@@ -13,14 +13,22 @@
 // earlier ones finish, so queueing delay is part of the measured
 // latency instead of being hidden by back-pressure. Phases:
 //
-//   1. closed-loop calibration on one thread -> capacity C (req/s);
-//   2. rate sweeps at 0.5C / 1C / 2C across pool sizes, reporting
-//      exact p50/p95/p99 latency (completion minus scheduled arrival),
+//   1. closed-loop calibration per thread count: N concurrent clients
+//      hammer the service -> capacity C(N) req/s (calibrating only at
+//      one thread and reusing that figure ran every multi-thread sweep
+//      at the wrong rate — C(1) understates what N workers can serve);
+//   2. rate sweeps at 0.5C / 1C / 2C across pool sizes (requests ride
+//      the request lane, DAG fan-out the exec lane), reporting exact
+//      p50/p95/p99 latency (completion minus scheduled arrival),
 //      achieved throughput, and wait-time attribution from the
 //      contention histograms (single-flight waits, pool queue delay,
 //      plan-cache / matcache shard lock waits) -- profiling mode only,
 //      so measured phases never allocate span trees;
-//   3. the saturation curve: overload (2C) throughput per pool size;
+//   3. the saturation curve: overload (2C) throughput per pool size,
+//      gated: throughput must not collapse as threads grow (and must
+//      reach 1.8x the 1-thread figure at 4 threads when the machine
+//      actually has >= 4 cores — on fewer cores extra threads cannot
+//      add parallelism, so only the no-collapse floor applies);
 //   4. a traced pass writing per-request span trees to --trace-dir
 //      (validated by tools/validate_trace.py in scripts/check.sh);
 //   5. a bitwise identity gate: the same request served with tracing
@@ -164,8 +172,8 @@ Result<SweepResult> RunSweep(PlanService* service,
                  std::chrono::duration<double>(static_cast<double>(k) /
                                                rate));
     std::this_thread::sleep_until(arrival);
-    ThreadPool::Global().Submit([service, &corpus, &seq, &latency, &done,
-                                 &failed, k, arrival] {
+    ThreadPool::RequestLane().Submit([service, &corpus, &seq, &latency,
+                                      &done, &failed, k, arrival] {
       const auto request =
           ServiceRequest{corpus[static_cast<size_t>(seq[k])], LoadConfig()};
       const auto result = service->Run(request);
@@ -274,7 +282,7 @@ int BenchLoadMain(int argc, char** argv) {
   // trees off. This is the configuration the sweep reports describe.
   Tracer::Global().SetProfiling(true);
 
-  // --- 1. closed-loop calibration -> capacity ------------------------
+  // --- 1. closed-loop calibration -> capacity per thread count -------
   const ZipfSampler sampler(static_cast<uint64_t>(corpus_size),
                             zipf_exponent);
   Rng rng(1234);
@@ -287,42 +295,68 @@ int BenchLoadMain(int argc, char** argv) {
     return seq;
   };
 
-  ThreadPool::SetGlobalThreads(1);
-  const std::vector<int> cal_seq =
-      draw_sequence(options.quick ? 60 : 200);
-  const auto cal_start = Clock::now();
-  for (const int index : cal_seq) {
-    auto r = service.Run(
-        ServiceRequest{corpus[static_cast<size_t>(index)], LoadConfig()});
-    if (!r.ok()) {
-      std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+  // The saturation curve is only meaningful when the same thread counts
+  // are measured in every mode, so --quick trims request counts, not
+  // the sweep grid.
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  const int cal_requests = options.quick ? 60 : 200;
+  std::vector<std::pair<int, double>> capacities;
+  for (const int threads : thread_counts) {
+    ThreadPool::SetGlobalThreads(threads);
+    const std::vector<int> cal_seq = draw_sequence(cal_requests);
+    std::atomic<size_t> next{0};
+    std::atomic<int> failed{0};
+    const auto cal_start = Clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(threads));
+    for (int c = 0; c < threads; ++c) {
+      clients.emplace_back([&] {
+        while (true) {
+          const size_t k = next.fetch_add(1, std::memory_order_relaxed);
+          if (k >= cal_seq.size()) return;
+          auto r = service.Run(ServiceRequest{
+              corpus[static_cast<size_t>(cal_seq[k])], LoadConfig()});
+          if (!r.ok()) failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+    const double cal_wall =
+        std::chrono::duration<double>(Clock::now() - cal_start).count();
+    if (failed.load() > 0) {
+      std::fprintf(stderr, "calibration request(s) failed at %d thread(s)\n",
+                   threads);
       return 1;
     }
+    const double capacity =
+        static_cast<double>(cal_seq.size()) / cal_wall;
+    capacities.emplace_back(threads, capacity);
+    std::printf("capacity (closed loop, %d client(s)): %.1f req/s over %zu "
+                "request(s)\n",
+                threads, capacity, cal_seq.size());
+    if (options.json) {
+      std::printf("{\"bench\": \"load\", \"phase\": \"calibrate\", "
+                  "\"threads\": %d, \"requests\": %zu, "
+                  "\"wall_seconds\": %.9g, \"capacity_rps\": %.3f}\n",
+                  threads, cal_seq.size(), cal_wall, capacity);
+    }
   }
-  const double cal_wall =
-      std::chrono::duration<double>(Clock::now() - cal_start).count();
-  const double capacity_rps = static_cast<double>(cal_seq.size()) / cal_wall;
-  std::printf("capacity (closed loop, 1 thread): %.1f req/s over %zu "
-              "request(s)\n",
-              capacity_rps, cal_seq.size());
-  if (options.json) {
-    std::printf("{\"bench\": \"load\", \"phase\": \"calibrate\", "
-                "\"requests\": %zu, \"wall_seconds\": %.9g, "
-                "\"capacity_rps\": %.3f}\n",
-                cal_seq.size(), cal_wall, capacity_rps);
-  }
+  auto capacity_for = [&](int threads) {
+    for (const auto& [t, c] : capacities) {
+      if (t == threads) return c;
+    }
+    return capacities.front().second;
+  };
 
   // --- 2. open-loop rate sweeps --------------------------------------
   const std::vector<double> ratios = {0.5, 1.0, 2.0};
-  const std::vector<int> thread_counts =
-      options.quick ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8};
   const int per_sweep = options.quick ? 48 : 240;
   std::vector<SweepResult> sweeps;
   for (const int threads : thread_counts) {
     for (const double ratio : ratios) {
       const auto sweep =
           RunSweep(&service, corpus, draw_sequence(per_sweep),
-                   capacity_rps * ratio, threads, ratio);
+                   capacity_for(threads) * ratio, threads, ratio);
       if (!sweep.ok()) {
         std::fprintf(stderr, "error: %s\n",
                      sweep.status().ToString().c_str());
@@ -348,7 +382,7 @@ int BenchLoadMain(int argc, char** argv) {
     }
   }
 
-  // --- 3. saturation curve -------------------------------------------
+  // --- 3. saturation curve + scaling gate ----------------------------
   // Overload throughput per pool size: at 2x capacity the arrival
   // process outpaces the service, so achieved throughput IS the
   // saturation point for that thread count.
@@ -361,6 +395,56 @@ int BenchLoadMain(int argc, char** argv) {
     }
   }
   std::printf("\n");
+
+  // The gate is hardware-aware: expected parallelism at T threads is
+  // min(T, cores), so floors only bind across transitions that add
+  // EFFECTIVE parallelism — that is where the old single-lane pool
+  // collapsed (~25% lost going 2T -> 4T on a multi-core box). Past the
+  // core count the OS scheduler owns throughput (8 workers timesharing
+  // 1 core context-switch away real work); those points are reported
+  // but not gated. The 1.8x-at-4T scaling floor applies when the
+  // machine has the cores to honor it.
+  const int cores =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  const double kCollapseSlack = 0.90;
+  bool scaling_ok = true;
+  for (size_t i = 1; i < saturation.size(); ++i) {
+    const int eff_prev = std::min(saturation[i - 1].first, cores);
+    const int eff_cur = std::min(saturation[i].first, cores);
+    if (eff_cur <= eff_prev) continue;  // oversubscribed: informational
+    if (saturation[i].second <
+        kCollapseSlack * saturation[i - 1].second) {
+      scaling_ok = false;
+      std::fprintf(stderr,
+                   "scaling gate: saturated throughput collapsed "
+                   "%dT %.1f -> %dT %.1f req/s (floor %.2fx)\n",
+                   saturation[i - 1].first, saturation[i - 1].second,
+                   saturation[i].first, saturation[i].second,
+                   kCollapseSlack);
+    }
+  }
+  double speedup_4t = 0.0;
+  for (const auto& [threads, rps] : saturation) {
+    if (threads == 4 && saturation.front().first == 1) {
+      speedup_4t = rps / saturation.front().second;
+    }
+  }
+  if (cores >= 4 && speedup_4t > 0.0 && speedup_4t < 1.8) {
+    scaling_ok = false;
+    std::fprintf(stderr,
+                 "scaling gate: 4T saturated throughput is only %.2fx "
+                 "the 1T figure on a %d-core machine (floor 1.8x)\n",
+                 speedup_4t, cores);
+  }
+  std::printf("scaling gate (%d core(s), 4T/1T %.2fx): %s\n", cores,
+              speedup_4t, scaling_ok ? "ok" : "FAIL");
+  const ServiceStats load_stats = service.stats();
+  std::printf("admission: %lld shed, %lld degraded, %lld coalesced of "
+              "%lld request(s)\n",
+              static_cast<long long>(load_stats.shed_requests),
+              static_cast<long long>(load_stats.degraded_requests),
+              static_cast<long long>(load_stats.coalesced_requests),
+              static_cast<long long>(load_stats.requests));
 
   Tracer::Global().SetProfiling(false);
 
@@ -429,8 +513,16 @@ int BenchLoadMain(int argc, char** argv) {
     std::fprintf(out,
                  "{\"bench\": \"service\", \"workload\": \"open-loop-zipf\", "
                  "\"corpus\": %d, \"zipf_exponent\": %.2f, "
-                 "\"capacity_rps\": %.3f, \"sweeps\": [",
-                 corpus_size, zipf_exponent, capacity_rps);
+                 "\"cores\": %d, \"capacity_rps\": %.3f, "
+                 "\"capacities\": [",
+                 corpus_size, zipf_exponent, cores,
+                 capacity_for(1));
+    for (size_t i = 0; i < capacities.size(); ++i) {
+      std::fprintf(out, "%s{\"threads\": %d, \"capacity_rps\": %.3f}",
+                   i > 0 ? ", " : "", capacities[i].first,
+                   capacities[i].second);
+    }
+    std::fprintf(out, "], \"sweeps\": [");
     for (size_t i = 0; i < sweeps.size(); ++i) {
       std::fprintf(out, "%s%s", i > 0 ? ", " : "",
                    SweepJson(sweeps[i]).c_str());
@@ -442,7 +534,13 @@ int BenchLoadMain(int argc, char** argv) {
                    i > 0 ? ", " : "", saturation[i].first,
                    saturation[i].second);
     }
-    std::fprintf(out, "], \"trace_identity\": %s}\n",
+    std::fprintf(out,
+                 "], \"shed_requests\": %lld, \"coalesced_requests\": %lld, "
+                 "\"speedup_4t_over_1t\": %.3f, \"scaling_ok\": %s, "
+                 "\"trace_identity\": %s}\n",
+                 static_cast<long long>(load_stats.shed_requests),
+                 static_cast<long long>(load_stats.coalesced_requests),
+                 speedup_4t, scaling_ok ? "true" : "false",
                  identical ? "true" : "false");
     std::fclose(out);
     std::printf("wrote BENCH_service.json\n");
@@ -451,6 +549,11 @@ int BenchLoadMain(int argc, char** argv) {
   if (!identical) {
     std::fprintf(stderr,
                  "FAIL: results with tracing on differ from tracing off\n");
+    return 1;
+  }
+  if (!scaling_ok) {
+    std::fprintf(stderr,
+                 "FAIL: saturated throughput regressed as threads grew\n");
     return 1;
   }
   return 0;

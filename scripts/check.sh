@@ -15,7 +15,10 @@
 #               than per-session recompute), then the bench_load serving
 #               gate (open-loop Zipf load sweep writing
 #               BENCH_service.json; tracing on-vs-off bitwise identity;
-#               emitted span trees checked by tools/validate_trace.py),
+#               emitted span trees checked by tools/validate_trace.py;
+#               the recorded saturation curve re-gated by
+#               tools/check_scaling.py so throughput may not collapse as
+#               effective parallelism grows),
 #               then the bench_distributed 2D-layout gate (SUMMA must
 #               beat 1D on ledger bytes for at least one sparse/skewed
 #               program with bitwise-identical results; writes
@@ -36,7 +39,7 @@ TSAN_DIR="${1:-build-tsan}"
 ASAN_DIR="${2:-build-asan}"
 BENCH_DIR="${3:-build}"
 UBSAN_DIR="${4:-build-ubsan}"
-FILTER='ThreadPool.*:Ledger.*:TaskGraph.*:Sched*.*:Kernels*.*:Fingerprint*.*:PlanCache*.*:Service*.*:MatCache*.*:MatrixBytes.*:Obs*.*:Chaos*.*:Fault*.*:Trace*.*:Contention*.*'
+FILTER='ThreadPool.*:LanePool.*:Ledger.*:TaskGraph.*:Sched*.*:Kernels*.*:Fingerprint*.*:PlanCache*.*:Service*.*:Admission*.*:MatCache*.*:MatrixBytes.*:Obs*.*:Chaos*.*:Fault*.*:Trace*.*:Contention*.*'
 
 GATES=()
 RESULTS=()
@@ -145,6 +148,11 @@ bench_smoke_gate() {
   "$lbin" --quick --json --trace-dir="$trace_dir" \
     | tee "$BENCH_DIR/bench_load.out" || return 1
   python3 tools/validate_trace.py "$trace_dir"/trace-*.json || return 1
+  # Saturation scaling gate: re-apply bench_load's hardware-aware rule to
+  # the BENCH_service.json it just wrote, so a recorded curve that
+  # collapses as effective parallelism grows fails the check on its own
+  # gate line even when bench_load's exit code is swallowed upstream.
+  python3 tools/check_scaling.py BENCH_service.json || return 1
   # 2D-layout gate: bench_distributed exits non-zero unless the 2D tiled
   # SUMMA path moves strictly fewer TransmissionLedger bytes than forced
   # 1D on at least one sparse/skewed program, with bitwise-identical

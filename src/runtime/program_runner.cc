@@ -247,7 +247,9 @@ Status ExecuteCompiled(const CompiledProgram& optimized,
   const LedgerSnapshot before = LedgerSnapshot::Of(*ledger);
   if (config.scheduler == SchedulerKind::kTaskGraph) {
     if (config.pool_threads > 0) {
-      ThreadPool::SetGlobalThreads(config.pool_threads);
+      // Only the execution lane: this may run on a request-lane worker
+      // (Session-submitted requests), which must never join its own lane.
+      ThreadPool::SetExecLaneThreads(config.pool_threads);
     }
     TraceSink trace;
     ParallelExecutor executor(config.cluster, &catalog, ledger,

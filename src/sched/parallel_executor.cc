@@ -281,6 +281,12 @@ Result<ParallelExecutor::ListTimes> ParallelExecutor::RunList(
   };
 
   execute = [&](int id) {
+   // Continuation loop: when finishing this node readies exactly one
+   // dependent, run it inline instead of paying a Submit/park/pop round
+   // trip — the common case for the chain-shaped DAGs long scripts
+   // produce. Additional ready dependents are submitted (onto this
+   // worker's own deque; parked siblings are woken to steal them).
+   while (true) {
     const TaskNode& node = graph.nodes[static_cast<size_t>(id)];
     NodeState& ns = state[static_cast<size_t>(id)];
     tasks_run_.fetch_add(1, std::memory_order_relaxed);
@@ -396,16 +402,25 @@ Result<ParallelExecutor::ListTimes> ParallelExecutor::RunList(
         }
       }
     }
+    int inline_next = -1;
     for (int dependent : node.dependents) {
       if (state[static_cast<size_t>(dependent)].remaining.fetch_sub(
               1, std::memory_order_acq_rel) == 1) {
-        submit(dependent);
+        if (inline_next < 0) {
+          inline_next = dependent;
+        } else {
+          submit(dependent);
+        }
       }
     }
     {
       std::lock_guard<std::mutex> lock(done_mu);
       if (--outstanding == 0) done_cv.notify_all();
     }
+    if (inline_next < 0) break;
+    state[static_cast<size_t>(inline_next)].ready_us = TraceTimestampUs();
+    id = inline_next;
+   }
   };
 
   // Snapshot the ready set before submitting anything: a submitted task

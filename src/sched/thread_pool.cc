@@ -1,6 +1,7 @@
 #include "sched/thread_pool.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -10,11 +11,15 @@ namespace remac {
 
 namespace {
 
+thread_local ThreadPool* tl_pool = nullptr;
 thread_local int tl_worker_id = -1;
 
 /// Process-wide mirrors of the per-instance pool counters. PoolStats
 /// stays the exact per-pool view (tests assert it; SetGlobalThreads
 /// recreates pools); these aggregate across every pool's lifetime.
+/// The lane families are registered here — unconditionally, so the
+/// metrics manifest sees them even in runs that never build one of the
+/// lanes — and handed to the matching pool at construction.
 struct PoolMetrics {
   Counter* tasks =
       MetricsRegistry::Global().GetCounter("remac.pool.tasks_executed");
@@ -26,6 +31,15 @@ struct PoolMetrics {
   /// clocks on submit or execution.
   Histogram* queue_seconds = MetricsRegistry::Global().GetHistogram(
       "remac.contention.pool_queue_seconds");
+  /// Per-lane mirrors (two-lane pool: execution vs request lane).
+  Counter* exec_tasks =
+      MetricsRegistry::Global().GetCounter("remac.pool.lane.exec.tasks");
+  Counter* request_tasks =
+      MetricsRegistry::Global().GetCounter("remac.pool.lane.request.tasks");
+  Gauge* exec_threads =
+      MetricsRegistry::Global().GetGauge("remac.pool.lane.exec.threads");
+  Gauge* request_threads =
+      MetricsRegistry::Global().GetGauge("remac.pool.lane.request.threads");
 };
 
 PoolMetrics& Metrics() {
@@ -39,24 +53,53 @@ int ResolveThreads(int threads) {
   return hw == 0 ? 1 : static_cast<int>(std::min(hw, 16u));
 }
 
-/// Holder for the process-wide pool; reset by SetGlobalThreads.
-struct GlobalPoolHolder {
+/// Holder for one process-wide lane; reset by SetGlobalThreads.
+struct LaneHolder {
   std::mutex mu;
   std::unique_ptr<ThreadPool> pool;
   int configured = 0;  // <= 0: hardware default
 };
 
-GlobalPoolHolder& Holder() {
-  static GlobalPoolHolder holder;
+LaneHolder& ExecHolder() {
+  static LaneHolder holder;
   return holder;
+}
+
+LaneHolder& RequestHolder() {
+  static LaneHolder holder;
+  return holder;
+}
+
+ThreadPool& LanePool(LaneHolder& holder, const char* lane) {
+  std::lock_guard<std::mutex> lock(holder.mu);
+  if (holder.pool == nullptr) {
+    holder.pool = std::make_unique<ThreadPool>(holder.configured, lane);
+  }
+  return *holder.pool;
+}
+
+void ResizeLane(LaneHolder& holder, int threads) {
+  std::lock_guard<std::mutex> lock(holder.mu);
+  holder.configured = threads;
+  if (holder.pool != nullptr &&
+      holder.pool->size() == ResolveThreads(threads)) {
+    return;
+  }
+  holder.pool.reset();  // joins workers; the lane accessor recreates
 }
 
 }  // namespace
 
-ThreadPool::ThreadPool(int threads) {
+ThreadPool::ThreadPool(int threads, const char* lane) {
   const int n = ResolveThreads(threads);
   queues_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) queues_.push_back(std::make_unique<Queue>());
+  if (lane != nullptr) {
+    const bool exec = std::strcmp(lane, "exec") == 0;
+    lane_tasks_ = exec ? Metrics().exec_tasks : Metrics().request_tasks;
+    lane_threads_ = exec ? Metrics().exec_threads : Metrics().request_threads;
+    lane_threads_->Set(static_cast<double>(n));
+  }
   threads_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     threads_.emplace_back([this, i] { WorkerLoop(i); });
@@ -65,11 +108,33 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   stop_.store(true, std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> lock(sleep_mu_);
-    sleep_cv_.notify_all();
+  for (auto& queue : queues_) {
+    // Lock-then-notify closes the race with a worker between its
+    // predicate check and its block (see WakeForTask).
+    { std::lock_guard<std::mutex> lock(queue->park_mu); }
+    queue->park_cv.notify_all();
   }
   for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::WakeForTask(size_t target) {
+  // Saturated fast path: with every worker busy there is nobody to wake
+  // and nothing to lock. The seq_cst pending_ increment in Submit and
+  // the seq_cst parked-flag store in WorkerLoop make this a Dekker pair:
+  // a worker that decided to park on an empty pool is visible here, and
+  // a submit this load misses is visible to the worker's predicate.
+  if (parked_count_.load(std::memory_order_seq_cst) == 0) return;
+  const size_t n = queues_.size();
+  for (size_t probe = 0; probe < n; ++probe) {
+    Queue& queue = *queues_[(target + probe) % n];
+    if (!queue.parked.load(std::memory_order_seq_cst)) continue;
+    // Empty critical section: serializes with the owner's atomic
+    // predicate-check-then-block so the notify cannot land in between
+    // and get lost.
+    { std::lock_guard<std::mutex> lock(queue.park_mu); }
+    queue.park_cv.notify_one();
+    return;
+  }
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
@@ -88,8 +153,15 @@ void ThreadPool::Submit(std::function<void()> fn) {
       fn();
     };
   }
-  const size_t target = next_queue_.fetch_add(1, std::memory_order_relaxed) %
-                        queues_.size();
+  // A worker submitting to its own pool keeps the continuation on its
+  // own deque: it is the thread most likely to pop it next (front,
+  // FIFO), and pushing it to a sibling forces a park/steal round trip.
+  // External submitters spread round-robin.
+  const size_t target =
+      tl_pool == this
+          ? static_cast<size_t>(tl_worker_id)
+          : next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                queues_.size();
   {
     std::lock_guard<std::mutex> lock(queues_[target]->mu);
     queues_[target]->items.push_back(std::move(fn));
@@ -101,11 +173,11 @@ void ThreadPool::Submit(std::function<void()> fn) {
     }
     Metrics().peak_queue_depth->SetMax(static_cast<double>(depth));
   }
-  pending_.fetch_add(1, std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> lock(sleep_mu_);
-    sleep_cv_.notify_one();
-  }
+  pending_.fetch_add(1, std::memory_order_seq_cst);
+  // Wake the owner of the deque that received the task; a worker
+  // submitting to itself instead wakes a parked sibling (it is busy with
+  // the current task, and the fan-out may hold parallelism).
+  WakeForTask(tl_pool == this ? (target + 1) % queues_.size() : target);
 }
 
 bool ThreadPool::PopTask(int preferred, std::function<void()>* out) {
@@ -134,7 +206,9 @@ bool ThreadPool::PopTask(int preferred, std::function<void()>* out) {
 }
 
 void ThreadPool::WorkerLoop(int index) {
+  tl_pool = this;
   tl_worker_id = index;
+  Queue& own = *queues_[static_cast<size_t>(index)];
   std::function<void()> task;
   while (true) {
     if (PopTask(index, &task)) {
@@ -142,26 +216,33 @@ void ThreadPool::WorkerLoop(int index) {
       task = nullptr;
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
       Metrics().tasks->Add();
+      if (lane_tasks_ != nullptr) lane_tasks_->Add();
       continue;
     }
     if (stop_.load(std::memory_order_acquire)) break;
-    // Signaled sleep, no timeout: Submit bumps pending_ and notifies
-    // under sleep_mu_, and the predicate re-checks it under the same
-    // mutex, so a wakeup can't slip between the empty-queue probe above
-    // and the wait below.
-    std::unique_lock<std::mutex> lock(sleep_mu_);
+    // Park on the worker's own condition variable. The parked flag is
+    // published (seq_cst) before the predicate reads pending_, pairing
+    // with WakeForTask's pending_-then-parked order: either this worker
+    // sees the new task and skips the sleep, or the submitter sees the
+    // flag and wakes it. No global mutex is involved.
+    std::unique_lock<std::mutex> lock(own.park_mu);
+    own.parked.store(true, std::memory_order_seq_cst);
+    parked_count_.fetch_add(1, std::memory_order_seq_cst);
     wait_wakeups_.fetch_add(1, std::memory_order_relaxed);
-    sleep_cv_.wait(lock, [this] {
+    own.park_cv.wait(lock, [this] {
       return stop_.load(std::memory_order_acquire) ||
-             pending_.load(std::memory_order_acquire) > 0;
+             pending_.load(std::memory_order_seq_cst) > 0;
     });
+    own.parked.store(false, std::memory_order_relaxed);
+    parked_count_.fetch_sub(1, std::memory_order_relaxed);
   }
+  tl_pool = nullptr;
   tl_worker_id = -1;
 }
 
 bool ThreadPool::TryRunOne() {
   const int preferred =
-      tl_worker_id >= 0
+      tl_pool == this
           ? tl_worker_id
           : static_cast<int>(next_queue_.load(std::memory_order_relaxed) %
                              queues_.size());
@@ -170,6 +251,7 @@ bool ThreadPool::TryRunOne() {
   task();
   tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   Metrics().tasks->Add();
+  if (lane_tasks_ != nullptr) lane_tasks_->Add();
   return true;
 }
 
@@ -227,24 +309,21 @@ PoolStats ThreadPool::stats() const {
 
 int ThreadPool::CurrentWorkerId() { return tl_worker_id; }
 
-ThreadPool& ThreadPool::Global() {
-  GlobalPoolHolder& holder = Holder();
-  std::lock_guard<std::mutex> lock(holder.mu);
-  if (holder.pool == nullptr) {
-    holder.pool = std::make_unique<ThreadPool>(holder.configured);
-  }
-  return *holder.pool;
+ThreadPool* ThreadPool::CurrentPool() { return tl_pool; }
+
+ThreadPool& ThreadPool::Global() { return LanePool(ExecHolder(), "exec"); }
+
+ThreadPool& ThreadPool::RequestLane() {
+  return LanePool(RequestHolder(), "request");
 }
 
 void ThreadPool::SetGlobalThreads(int threads) {
-  GlobalPoolHolder& holder = Holder();
-  std::lock_guard<std::mutex> lock(holder.mu);
-  holder.configured = threads;
-  if (holder.pool != nullptr &&
-      holder.pool->size() == ResolveThreads(threads)) {
-    return;
-  }
-  holder.pool.reset();  // joins workers; Global() recreates on demand
+  ResizeLane(ExecHolder(), threads);
+  ResizeLane(RequestHolder(), threads);
+}
+
+void ThreadPool::SetExecLaneThreads(int threads) {
+  ResizeLane(ExecHolder(), threads);
 }
 
 }  // namespace remac

@@ -91,17 +91,17 @@ const RtValue* MatExecContext::Lookup(const PlanNode* node) {
     flight = state->flight;
   }
 
-  // Pure waiter: block on the leader's result, helping drain the shared
-  // pool meanwhile so a fleet of waiting sessions cannot starve the
+  // Pure waiter: block on the leader's result, helping drain its own
+  // lane meanwhile so a fleet of waiting sessions cannot starve the
   // leader's nested tasks.
   const double wait_start_us = TraceNowMicros();
-  if (ThreadPool::CurrentWorkerId() >= 0) {
+  if (ThreadPool* self = ThreadPool::CurrentPool(); self != nullptr) {
     while (true) {
       {
         std::unique_lock<std::mutex> lock(flight->mu);
         if (flight->done) break;
       }
-      if (!ThreadPool::Global().TryRunOne()) break;
+      if (!self->TryRunOne()) break;
     }
   }
   std::shared_ptr<const MaterializedIntermediate> served =

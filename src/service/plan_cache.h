@@ -41,6 +41,11 @@ struct CachedPlan {
   /// Approximate resident footprint of this entry (plan trees, sources,
   /// candidate keys), computed once at insertion.
   int64_t resident_bytes = 0;
+  /// The optimized program references no stochastic builtin (rand), so
+  /// executing it twice against unchanged inputs is bitwise identical.
+  /// Gate for warm-hit coalescing: only deterministic plans may share
+  /// one execution across concurrent identical requests.
+  bool deterministic = false;
 
   /// Estimates `resident_bytes` from the entry's actual contents.
   int64_t EstimateResidentBytes() const;

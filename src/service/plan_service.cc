@@ -38,6 +38,12 @@ struct ServiceMetrics {
       MetricsRegistry::Global().GetHistogram("remac.service.build_seconds");
   Counter* degraded =
       MetricsRegistry::Global().GetCounter("remac.service.degraded");
+  /// Requests shed by admission control (a subset of `degraded`).
+  Counter* shed =
+      MetricsRegistry::Global().GetCounter("remac.service.shed");
+  /// Warm hits served by another request's in-flight execution.
+  Counter* coalesced =
+      MetricsRegistry::Global().GetCounter("remac.service.coalesced");
 };
 
 ServiceMetrics& Metrics() {
@@ -119,6 +125,11 @@ Result<std::shared_ptr<const CachedPlan>> PlanService::BuildPlan(
   optimize_span.Stop();
   timing->optimize_seconds += SecondsSince(optimize_start);
   plan.optimized_source = optimized.ToString();
+  // Coalescing eligibility, decided once per build: a plan that calls
+  // rand() produces a different (seed-streamed) result per execution, so
+  // two requests must never share one run of it.
+  plan.deterministic =
+      plan.optimized_source.find("rand(") == std::string::npos;
   plan.program = std::make_shared<const CompiledProgram>(std::move(optimized));
   if (options_.mat_cache_bytes > 0) {
     // Extract the matcache candidates once per build against the final
@@ -165,11 +176,18 @@ void PlanService::InvalidateChangedDatasets(
 }
 
 Result<ServiceReport> PlanService::Run(const ServiceRequest& request) {
-  return RunTraced(request, Tracer::Global().StartRequest());
+  return RunQueued(request, Tracer::Global().StartRequest(),
+                   /*queued_seconds=*/0.0);
 }
 
 Result<ServiceReport> PlanService::RunTraced(
     const ServiceRequest& request, std::shared_ptr<RequestTrace> trace) {
+  return RunQueued(request, std::move(trace), /*queued_seconds=*/0.0);
+}
+
+Result<ServiceReport> PlanService::RunQueued(
+    const ServiceRequest& request, std::shared_ptr<RequestTrace> trace,
+    double queued_seconds) {
   const auto start = Clock::now();
   requests_.fetch_add(1, std::memory_order_relaxed);
   Metrics().requests->Add();
@@ -292,15 +310,17 @@ Result<ServiceReport> PlanService::RunTraced(
       report.shared_flight = true;
       const auto wait_start = Clock::now();
       const double wait_start_us = TraceNowMicros();
-      if (ThreadPool::CurrentWorkerId() >= 0) {
-        // A pool task helps drain the pool while it waits, so a fleet of
-        // hammering sessions cannot starve the leader's nested work.
+      if (ThreadPool* self = ThreadPool::CurrentPool(); self != nullptr) {
+        // A pool task helps drain its own lane while it waits, so a
+        // fleet of hammering sessions cannot starve the leader's nested
+        // work — a request-lane waiter drains queued requests, an
+        // exec-lane waiter drains DAG tasks.
         while (true) {
           {
             std::unique_lock<std::mutex> lock(flight->mu);
             if (flight->done) break;
           }
-          if (!ThreadPool::Global().TryRunOne()) {
+          if (!self->TryRunOne()) {
             // Queues are dry: sleep until the leader's notify. The
             // leader never needs this thread — its nested RunAndWait
             // drains its own sub-tasks — so parking here cannot wedge
@@ -334,30 +354,153 @@ Result<ServiceReport> PlanService::RunTraced(
       report.timing.parse_seconds + report.timing.optimize_seconds;
   TransmissionLedger ledger(request.config.cluster);
   ledger.AddCompilationSeconds(report.run.compile_wall_seconds);
+
+  // Tail bookkeeping shared by the normal and coalesced return paths.
+  auto finish = [&] {
+    report.timing.total_seconds = SecondsSince(start);
+    Metrics().request_seconds->Observe(report.timing.total_seconds);
+    if (report.cache_hit) {
+      warm_requests_.fetch_add(1, std::memory_order_relaxed);
+      AtomicAdd(&warm_seconds_, report.timing.total_seconds);
+      Metrics().warm_hits->Add();
+      Metrics().warm_seconds->Observe(report.timing.total_seconds);
+    } else {
+      cold_requests_.fetch_add(1, std::memory_order_relaxed);
+      AtomicAdd(&cold_seconds_, report.timing.total_seconds);
+      Metrics().cold_misses->Add();
+      Metrics().cold_seconds->Observe(report.timing.total_seconds);
+    }
+    if (trace != nullptr) trace->CloseRoot("request");
+  };
+
+  // Warm-hit coalescing state: when this request leads a result flight,
+  // every exit path below must publish exactly once.
+  std::shared_ptr<ResultFlight> rflight;
+  bool rleader = false;
+  std::string result_key;
+  auto publish_result = [&](const Status& status) {
+    if (!rleader) return;
+    rleader = false;  // publish exactly once
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      result_flights_.erase(result_key);
+    }
+    {
+      std::lock_guard<std::mutex> lock(rflight->mu);
+      rflight->done = true;
+      if (status.ok()) {
+        rflight->report = std::make_shared<const ServiceReport>(report);
+      } else {
+        rflight->status = status;
+      }
+    }
+    rflight->cv.notify_all();
+  };
+
   if (request.config.execute) {
     const auto execute_start = Clock::now();
     // Degradation ladder: when the request can't (or shouldn't) take the
     // task-graph path, fall back to the serial fault-free executor — a
     // degraded response is slower but exact, never an error.
     RunConfig exec = request.config;
-    auto degrade = [&](const char* reason) {
+    auto degrade = [&](const char* reason, bool shed) {
       exec.scheduler = SchedulerKind::kSerial;
       exec.faults.enabled = false;
       report.degraded = true;
       report.degraded_reason = reason;
       degraded_requests_.fetch_add(1, std::memory_order_relaxed);
       Metrics().degraded->Add();
+      if (shed) {
+        report.shed = true;
+        shed_requests_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().shed->Add();
+      }
     };
+
+    // Coalescing: an identical warm request on a deterministic plan is
+    // already executing — ride its result instead of re-executing. Only
+    // plans with no stochastic builtins qualify (decided at build time),
+    // and only plain requests (no faults, no tracing) so a shared run is
+    // bitwise indistinguishable from a private one.
+    if (options_.coalesce_warm_hits && report.cache_hit &&
+        plan->deterministic && trace == nullptr &&
+        !request.config.faults.enabled &&
+        request.config.trace_path.empty()) {
+      // The plan-cache key excludes execution-only knobs, so fold the
+      // result-affecting ones back in: iteration horizon, scheduler and
+      // the ledger's input-partition accounting mode.
+      result_key =
+          report.cache_key +
+          StringFormat("|x%d,s%d,p%d", request.config.executed_iterations,
+                       static_cast<int>(request.config.scheduler),
+                       request.config.count_input_partition ? 1 : 0);
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = result_flights_.find(result_key);
+      if (it != result_flights_.end()) {
+        rflight = it->second;
+      } else {
+        rflight = std::make_shared<ResultFlight>();
+        result_flights_.emplace(result_key, rflight);
+        rleader = true;
+      }
+    }
+    if (rflight != nullptr && !rleader) {
+      coalesced_requests_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().coalesced->Add();
+      if (ThreadPool* self = ThreadPool::CurrentPool(); self != nullptr) {
+        // Help drain this worker's own lane while waiting (same
+        // leader-never-needs-us argument as the plan flight above).
+        while (true) {
+          {
+            std::unique_lock<std::mutex> lock(rflight->mu);
+            if (rflight->done) break;
+          }
+          if (!self->TryRunOne()) break;
+        }
+      }
+      std::shared_ptr<const ServiceReport> shared;
+      {
+        std::unique_lock<std::mutex> lock(rflight->mu);
+        rflight->cv.wait(lock, [&] { return rflight->done; });
+        if (!rflight->status.ok()) return rflight->status;
+        shared = rflight->report;
+      }
+      // The leader's finished run IS this request's result: same plan,
+      // same inputs, deterministic execution. Matrix payloads are shared
+      // immutable buffers, so the copy is one pointer bump per value.
+      report.run = shared->run;
+      report.coalesced = true;
+      report.timing.execute_seconds = SecondsSince(execute_start);
+      finish();
+      return report;
+    }
+
     if (exec.scheduler == SchedulerKind::kTaskGraph) {
-      ThreadPool& pool = ThreadPool::Global();
-      if (request.deadline_seconds > 0.0 &&
-          SecondsSince(start) >= request.deadline_seconds) {
-        degrade("deadline");
-      } else if (options_.saturation_queue_factor > 0.0 &&
-                 static_cast<double>(pool.pending()) >=
-                     options_.saturation_queue_factor *
-                         static_cast<double>(pool.size())) {
-        degrade("pool-saturated");
+      // Admission control. Shedding never rejects: the request still
+      // runs — serially, faults off — and returns the exact result.
+      const double deadline = request.deadline_seconds;
+      if (deadline > 0.0 && queued_seconds >= deadline &&
+          queued_seconds > 0.0) {
+        // The session-queue wait alone ate the whole budget; spending
+        // DAG fan-out on an already-late request only delays the rest
+        // of the backlog.
+        degrade("shed-deadline", /*shed=*/true);
+      } else if (deadline > 0.0 &&
+                 queued_seconds + SecondsSince(start) >= deadline) {
+        degrade("deadline", /*shed=*/false);
+      } else if (options_.admission_backlog_factor > 0.0) {
+        const auto backlogged = [&](const ThreadPool& lane) {
+          return static_cast<double>(lane.pending()) >=
+                 options_.admission_backlog_factor *
+                     static_cast<double>(lane.size());
+        };
+        // Either lane deep in backlog means fan-out would queue, not
+        // run: the request lane measures how many whole requests are
+        // waiting, the exec lane how many DAG tasks are.
+        if (backlogged(ThreadPool::RequestLane()) ||
+            backlogged(ThreadPool::Global())) {
+          degrade("shed-backlog", /*shed=*/true);
+        }
       }
     }
     // Cross-request redundancy elimination: splice the materialized
@@ -381,32 +524,22 @@ Result<ServiceReport> PlanService::RunTraced(
       // retry budget allows. Re-run serially with faults off on the SAME
       // ledger: the wasted double-booked work stays accounted, and the
       // serial pass produces the exact result.
-      degrade("retries-exhausted");
+      degrade("retries-exhausted", /*shed=*/false);
       executed = ExecuteCompiled(*plan->program, *catalog_, exec, &ledger,
                                  &report.run);
     }
     // The context's destructor cancels any flight it led but never
     // offered (failed executions), so followers are never stranded.
     if (mat_context != nullptr) report.matcache = mat_context->stats();
-    REMAC_RETURN_NOT_OK(executed);
+    if (!executed.ok()) {
+      publish_result(executed);
+      return executed;
+    }
     report.timing.execute_seconds = SecondsSince(execute_start);
   }
   report.run.breakdown = ledger.Breakdown();
-  report.timing.total_seconds = SecondsSince(start);
-
-  Metrics().request_seconds->Observe(report.timing.total_seconds);
-  if (report.cache_hit) {
-    warm_requests_.fetch_add(1, std::memory_order_relaxed);
-    AtomicAdd(&warm_seconds_, report.timing.total_seconds);
-    Metrics().warm_hits->Add();
-    Metrics().warm_seconds->Observe(report.timing.total_seconds);
-  } else {
-    cold_requests_.fetch_add(1, std::memory_order_relaxed);
-    AtomicAdd(&cold_seconds_, report.timing.total_seconds);
-    Metrics().cold_misses->Add();
-    Metrics().cold_seconds->Observe(report.timing.total_seconds);
-  }
-  if (trace != nullptr) trace->CloseRoot("request");
+  publish_result(Status::OK());
+  finish();
   return report;
 }
 
@@ -415,6 +548,7 @@ ServiceStats PlanService::stats() const {
   stats.cache = cache_.stats();
   stats.matcache = mat_cache_.stats();
   stats.pool = ThreadPool::Global().stats();
+  stats.request_pool = ThreadPool::RequestLane().stats();
   stats.requests = requests_.load(std::memory_order_relaxed);
   stats.optimizer_invocations =
       optimizer_invocations_.load(std::memory_order_relaxed);
@@ -424,6 +558,9 @@ ServiceStats PlanService::stats() const {
   stats.cold_requests = cold_requests_.load(std::memory_order_relaxed);
   stats.degraded_requests =
       degraded_requests_.load(std::memory_order_relaxed);
+  stats.shed_requests = shed_requests_.load(std::memory_order_relaxed);
+  stats.coalesced_requests =
+      coalesced_requests_.load(std::memory_order_relaxed);
   stats.warm_seconds = warm_seconds_.load(std::memory_order_relaxed);
   stats.cold_seconds = cold_seconds_.load(std::memory_order_relaxed);
   return stats;
@@ -435,19 +572,26 @@ void PlanService::Session::Submit(ServiceRequest request) {
   // dominant part of a request's latency.
   std::shared_ptr<RequestTrace> trace = Tracer::Global().StartRequest();
   const double submit_us = trace != nullptr ? TraceNowMicros() : 0.0;
+  // Queue-entry stamp, independent of tracing: admission control counts
+  // the submit-to-start wait against the request's deadline.
+  const auto submitted_at = Clock::now();
   auto task = std::make_shared<std::packaged_task<Result<ServiceReport>()>>(
-      [service = service_, request = std::move(request), trace, submit_us] {
+      [service = service_, request = std::move(request), trace, submit_us,
+       submitted_at] {
         if (trace != nullptr) {
           RecordWaitSpanIn(TraceContext{trace, RequestTrace::kRootSpanId},
                            "session-queue", submit_us, TraceNowMicros());
         }
-        return service->RunTraced(request, trace);
+        return service->RunQueued(request, trace,
+                                  SecondsSince(submitted_at));
       });
   {
     std::lock_guard<std::mutex> lock(mu_);
     pending_.push_back(task->get_future());
   }
-  ThreadPool::Global().Submit([task] { (*task)(); });
+  // The request lane: whole requests never queue behind (or ahead of)
+  // another request's DAG fan-out, which rides the exec lane.
+  ThreadPool::RequestLane().Submit([task] { (*task)(); });
 }
 
 std::vector<Result<ServiceReport>> PlanService::Session::Wait() {

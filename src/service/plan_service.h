@@ -56,11 +56,19 @@ struct ServiceReport {
   std::string cache_key;
   RequestTiming timing;
   /// The request fell back to the serial fault-free executor (deadline
-  /// pressure, pool saturation, or a chaos run that ran out of retries).
-  /// A degraded response is slower-but-correct, never wrong.
+  /// pressure, admission shedding, or a chaos run that ran out of
+  /// retries). A degraded response is slower-but-correct, never wrong.
   bool degraded = false;
-  /// Why: "deadline", "pool-saturated" or "retries-exhausted".
+  /// Why: "deadline", "shed-backlog", "shed-deadline" or
+  /// "retries-exhausted".
   std::string degraded_reason;
+  /// Admission control shed this request's task-graph path at entry
+  /// (backlog or queue-eaten deadline); it still ran — degraded — and
+  /// returned the exact result.
+  bool shed = false;
+  /// This warm hit rode another in-flight identical request's execution
+  /// instead of executing the plan itself.
+  bool coalesced = false;
   /// This request's materialized-intermediate cache interaction: probes,
   /// hits served without recomputation, flights led and waited on.
   MatRequestStats matcache;
@@ -74,7 +82,10 @@ struct ServiceReport {
 struct ServiceStats {
   PlanCacheStats cache;
   MatCacheStats matcache;
+  /// Execution-lane pool (DAG tasks, kernel fan-out).
   PoolStats pool;
+  /// Request-lane pool (Session submissions).
+  PoolStats request_pool;
   int64_t requests = 0;
   /// Times the optimizer actually ran (single-flight: once per cold key).
   int64_t optimizer_invocations = 0;
@@ -82,6 +93,8 @@ struct ServiceStats {
   int64_t warm_requests = 0;  // served from cache
   int64_t cold_requests = 0;  // optimized (or waited on an optimize)
   int64_t degraded_requests = 0;  // fell back to the serial executor
+  int64_t shed_requests = 0;  // degraded by admission control
+  int64_t coalesced_requests = 0;  // warm hits served by a shared run
   double warm_seconds = 0.0;  // summed request latency, warm
   double cold_seconds = 0.0;  // summed request latency, cold
 };
@@ -89,11 +102,19 @@ struct ServiceStats {
 struct ServiceOptions {
   size_t cache_capacity = 64;
   int cache_shards = 8;
-  /// Task-graph requests degrade to the serial executor when the shared
-  /// pool's backlog reaches `factor * pool size` pending tasks — adding
-  /// DAG fan-out to a saturated pool only deepens the queue. <= 0
-  /// disables the check.
-  double saturation_queue_factor = 8.0;
+  /// Admission control: a task-graph request is shed (degraded to the
+  /// serial fault-free executor, never rejected) when either lane's
+  /// backlog reaches `factor * lane size` pending tasks at admission
+  /// time — adding DAG fan-out to a saturated pool only deepens the
+  /// queue. Queued requests whose wait already ate their deadline are
+  /// shed the same way ("shed-deadline"). <= 0 disables the backlog
+  /// check (deadline shedding still applies).
+  double admission_backlog_factor = 8.0;
+  /// Coalesce concurrent identical warm hits: when an identical request
+  /// (same cache key + execution knobs) on a deterministic plan is
+  /// already executing, followers wait for its result instead of
+  /// re-executing. Off by default; pure win for read-heavy hot keys.
+  bool coalesce_warm_hits = false;
   /// Materialized-intermediate cache (src/service/matcache): byte
   /// budget (0 disables cross-request intermediate sharing entirely),
   /// shard count, admission threshold and single-flight toggle — see
@@ -157,7 +178,9 @@ class PlanService {
    public:
     explicit Session(PlanService* service) : service_(service) {}
 
-    /// Enqueues the request on ThreadPool::Global().
+    /// Enqueues the request on ThreadPool::RequestLane(), stamping its
+    /// queue-entry time so admission control can shed requests whose
+    /// wait already ate their deadline.
     void Submit(ServiceRequest request);
 
     /// Blocks until every submitted request finished; returns reports in
@@ -183,12 +206,30 @@ class PlanService {
     Status status = Status::OK();
     std::shared_ptr<const CachedPlan> plan;
   };
+  /// An identical warm request currently executing; coalesced followers
+  /// wait on `cv` and copy the leader's finished report (Matrix payloads
+  /// are shared immutable buffers, so the copy is cheap).
+  struct ResultFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status = Status::OK();
+    std::shared_ptr<const ServiceReport> report;
+  };
   /// What the source-text fast path remembers about a script: its
   /// canonical identity, so repeat requests skip the parser entirely.
   struct SourceAlias {
     uint64_t program_hash = 0;
     std::vector<std::string> datasets;
   };
+
+  /// RunTraced with the request's queue wait made explicit. Direct Run
+  /// calls pass 0 (the caller never queued); Session passes the measured
+  /// submit-to-start wait, which admission control counts against the
+  /// deadline and backlog checks.
+  Result<ServiceReport> RunQueued(const ServiceRequest& request,
+                                  std::shared_ptr<RequestTrace> trace,
+                                  double queued_seconds);
 
   /// Builds (parse if needed + optimize) the plan for a cold key.
   Result<std::shared_ptr<const CachedPlan>> BuildPlan(
@@ -210,6 +251,10 @@ class PlanService {
   std::unordered_map<std::string, SourceAlias> aliases_;
   std::unordered_map<uint64_t, std::string> last_metadata_;
   std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+  /// In-flight executions keyed by cache key + execution knobs, the
+  /// warm-hit coalescing map (empty unless coalesce_warm_hits).
+  std::unordered_map<std::string, std::shared_ptr<ResultFlight>>
+      result_flights_;
   /// Last-seen strict fragment (metadata + version) per dataset, the
   /// trigger for dataset-level matcache invalidation.
   std::unordered_map<std::string, std::string> dataset_fragments_;
@@ -220,6 +265,8 @@ class PlanService {
   std::atomic<int64_t> warm_requests_{0};
   std::atomic<int64_t> cold_requests_{0};
   std::atomic<int64_t> degraded_requests_{0};
+  std::atomic<int64_t> shed_requests_{0};
+  std::atomic<int64_t> coalesced_requests_{0};
   std::atomic<double> warm_seconds_{0.0};
   std::atomic<double> cold_seconds_{0.0};
 };

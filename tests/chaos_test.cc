@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <string>
@@ -395,13 +396,13 @@ TEST(ChaosDegradation, DeadlinePressureDegradesToSerial) {
   EXPECT_FALSE(report->run.env.empty());
 }
 
-TEST(ChaosDegradation, SaturatedPoolDegradesToSerial) {
+TEST(ChaosDegradation, BackloggedLaneShedsToSerial) {
   const DataCatalog& catalog = ChaosCatalog();
   ServiceOptions options;
-  options.saturation_queue_factor = 1e-6;  // any backlog at all degrades
+  options.admission_backlog_factor = 1e-6;  // any backlog at all sheds
   PlanService service(&catalog, options);
 
-  // Park the global pool's workers and stack up a visible backlog. The
+  // Park the exec lane's workers and stack up a visible backlog. The
   // gate state is shared by value so a worker still spinning when this
   // test returns never reads a dead stack frame.
   ThreadPool& pool = ThreadPool::Global();
@@ -419,6 +420,9 @@ TEST(ChaosDegradation, SaturatedPoolDegradesToSerial) {
   while (parked->load() < workers) std::this_thread::yield();
   pool.Submit([] {});  // pending() >= 1 while the workers are parked
 
+  Counter* shed_metric =
+      MetricsRegistry::Global().GetCounter("remac.service.shed");
+  const int64_t shed_before = shed_metric->Value();
   ServiceRequest request;
   request.source = DfpScript("ds", 2);
   request.config.max_iterations = 2;
@@ -429,8 +433,52 @@ TEST(ChaosDegradation, SaturatedPoolDegradesToSerial) {
   while (pool.pending() > 0) (void)pool.TryRunOne();
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_TRUE(report->degraded);
-  EXPECT_EQ(report->degraded_reason, "pool-saturated");
+  EXPECT_TRUE(report->shed);
+  EXPECT_EQ(report->degraded_reason, "shed-backlog");
   EXPECT_FALSE(report->run.env.empty());
+  EXPECT_EQ(service.stats().shed_requests, 1);
+  EXPECT_EQ(shed_metric->Value(), shed_before + 1);
+}
+
+TEST(ChaosDegradation, SessionChaosThroughBothLanesBitwiseIdentical) {
+  // The full serving stack: requests ride the request lane (Session),
+  // their DAG fan-out rides the exec lane, faults force retries — and
+  // every result must still be bitwise identical to the plain serial
+  // executor's.
+  const DataCatalog& catalog = ChaosCatalog();
+  const std::string script = DfpScript("ds", 2);
+  RunConfig config;
+  config.max_iterations = 2;
+  auto reference = RunScript(script, catalog, config);
+  ASSERT_TRUE(reference.ok());
+
+  ThreadPool::SetGlobalThreads(4);
+  PlanService service(&catalog);
+  ServiceRequest request;
+  request.source = script;
+  request.config = config;
+  request.config.scheduler = SchedulerKind::kTaskGraph;
+  request.config.faults = FaultPlan::Chaos(7);
+  PlanService::Session session = service.NewSession();
+  constexpr int kRequests = 6;
+  for (int k = 0; k < kRequests; ++k) session.Submit(request);
+  const auto results = session.Wait();
+  ASSERT_EQ(results.size(), static_cast<size_t>(kRequests));
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectEnvBitwise(reference->env, result.value().run.env);
+  }
+  // Workers bump the executed counter after the task body sets the
+  // future, so the last increment can trail Wait() by an instant.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (service.stats().request_pool.tasks_executed < kRequests) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::yield();
+  }
+  // DAG tasks took the exec lane, whole requests the request lane.
+  EXPECT_GE(service.stats().pool.tasks_executed, 1);
+  ThreadPool::SetGlobalThreads(0);
 }
 
 TEST(ChaosDegradation, HealthyRequestsAreNotDegraded) {

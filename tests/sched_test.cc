@@ -15,6 +15,7 @@
 
 #include "algorithms/scripts.h"
 #include "data/generators.h"
+#include "obs/metrics.h"
 #include "plan/plan_builder.h"
 #include "runtime/executor.h"
 #include "runtime/program_runner.h"
@@ -146,6 +147,103 @@ TEST(ThreadPool, IdleWaitsAreSignaledNotPolled) {
   }
   pool.RunAndWait(std::move(tasks));
   EXPECT_LT(pool.stats().wait_wakeups, 10);
+}
+
+// ---------------------------------------------------------------------------
+// Two-lane pool
+
+TEST(LanePool, CurrentPoolIdentifiesTheWorkersLane) {
+  EXPECT_EQ(ThreadPool::CurrentPool(), nullptr);
+  std::atomic<ThreadPool*> exec_seen{nullptr};
+  std::atomic<ThreadPool*> request_seen{nullptr};
+  std::atomic<int> exec_id{-2};
+  std::atomic<int> done{0};
+  ThreadPool::Global().Submit([&] {
+    exec_seen.store(ThreadPool::CurrentPool());
+    exec_id.store(ThreadPool::CurrentWorkerId());
+    done.fetch_add(1);
+  });
+  ThreadPool::RequestLane().Submit([&] {
+    request_seen.store(ThreadPool::CurrentPool());
+    done.fetch_add(1);
+  });
+  while (done.load() < 2) std::this_thread::yield();
+  EXPECT_EQ(exec_seen.load(), &ThreadPool::Global());
+  EXPECT_EQ(request_seen.load(), &ThreadPool::RequestLane());
+  EXPECT_GE(exec_id.load(), 0);
+  EXPECT_LT(exec_id.load(), ThreadPool::Global().size());
+}
+
+TEST(LanePool, LanesAreDistinctAndSizedFromOneBudget) {
+  ASSERT_NE(&ThreadPool::Global(), &ThreadPool::RequestLane());
+  ThreadPool::SetGlobalThreads(3);
+  EXPECT_EQ(ThreadPool::Global().size(), 3);
+  EXPECT_EQ(ThreadPool::RequestLane().size(), 3);
+  // Per-run exec-lane sizing leaves the request lane alone, so a
+  // request-lane worker re-configuring execution parallelism can never
+  // tear down (and join) the very lane it runs on.
+  ThreadPool::SetExecLaneThreads(2);
+  EXPECT_EQ(ThreadPool::Global().size(), 2);
+  EXPECT_EQ(ThreadPool::RequestLane().size(), 3);
+  ThreadPool::SetGlobalThreads(0);
+  EXPECT_EQ(ThreadPool::Global().size(), ThreadPool::RequestLane().size());
+}
+
+TEST(LanePool, WorkerOriginatedContinuationsComplete) {
+  // A worker task that submits its own continuations (own-queue routing)
+  // must never strand them: either the submitter picks them up next or
+  // a woken sibling steals them. Chain depth x fan-out stresses both.
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::function<void(int)> chain = [&](int depth) {
+    count.fetch_add(1);
+    if (depth <= 0) return;
+    pool.Submit([&chain, depth] { chain(depth - 1); });
+    pool.Submit([&chain, depth] { chain(depth - 1); });
+  };
+  pool.Submit([&chain] { chain(6); });
+  // 1 + 2 + 4 + ... + 2^7 - 1 tasks minus... the root counts once per
+  // node of a depth-6 binary recursion: 2^7 - 1 = 127 increments.
+  while (count.load() < 127) std::this_thread::yield();
+  EXPECT_EQ(count.load(), 127);
+}
+
+TEST(LanePool, RepeatedParkWakeCyclesLoseNoSubmissions) {
+  // Missed-wakeup regression: alternate idle parks with single submits.
+  // A lost wakeup deadlocks this loop (the task sits queued while the
+  // only worker sleeps), so completing is the assertion.
+  ThreadPool pool(1);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<bool> ran{false};
+    pool.Submit([&ran] { ran.store(true); });
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!ran.load()) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "submission lost at round " << round;
+      std::this_thread::yield();
+    }
+  }
+}
+
+TEST(LanePool, LaneMetricsMirrorTasksAndThreads) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* exec_tasks =
+      registry.GetCounter("remac.pool.lane.exec.tasks");
+  Counter* request_tasks =
+      registry.GetCounter("remac.pool.lane.request.tasks");
+  const int64_t exec_before = exec_tasks->Value();
+  const int64_t request_before = request_tasks->Value();
+  std::atomic<int> done{0};
+  ThreadPool::Global().Submit([&done] { done.fetch_add(1); });
+  ThreadPool::RequestLane().Submit([&done] { done.fetch_add(1); });
+  while (done.load() < 2) std::this_thread::yield();
+  EXPECT_GE(exec_tasks->Value(), exec_before + 1);
+  EXPECT_GE(request_tasks->Value(), request_before + 1);
+  EXPECT_EQ(registry.GetGauge("remac.pool.lane.exec.threads")->Value(),
+            static_cast<double>(ThreadPool::Global().size()));
+  EXPECT_EQ(registry.GetGauge("remac.pool.lane.request.threads")->Value(),
+            static_cast<double>(ThreadPool::RequestLane().size()));
 }
 
 // ---------------------------------------------------------------------------

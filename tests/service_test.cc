@@ -5,14 +5,17 @@
 // run under both TSan and ASan via scripts/check.sh.
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "algorithms/scripts.h"
 #include "data/generators.h"
+#include "obs/metrics.h"
 #include "sched/thread_pool.h"
 #include "service/plan_cache.h"
 #include "service/plan_service.h"
@@ -491,6 +494,137 @@ TEST(ServiceConcurrency, HammerAcrossKeysOptimizesOncePerKey) {
   }
   EXPECT_EQ(service.stats().optimizer_invocations, 4);
   ThreadPool::SetGlobalThreads(0);
+}
+
+// ---------------------------------------------------------------------
+// Admission control + warm-hit coalescing
+
+TEST(Admission, QueueEatenDeadlineShedsToSerial) {
+  ThreadPool::SetGlobalThreads(1);
+  PlanService service(&ServiceCatalog());
+
+  // Reference: the same program served serially, no pressure.
+  RunConfig config = SmallConfig();
+  auto reference = service.Run({DfpScript("ds", 3), config});
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  // Occupy the request lane's only worker, so the submitted request
+  // spends real wall time queued — enough to blow its tiny deadline
+  // before it even starts.
+  ThreadPool::RequestLane().Submit(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(50)); });
+  Counter* shed_metric =
+      MetricsRegistry::Global().GetCounter("remac.service.shed");
+  const int64_t shed_before = shed_metric->Value();
+
+  ServiceRequest request;
+  request.source = DfpScript("ds", 3);
+  request.config = config;
+  request.config.scheduler = SchedulerKind::kTaskGraph;
+  request.deadline_seconds = 1e-3;
+  PlanService::Session session = service.NewSession();
+  session.Submit(request);
+  const auto results = session.Wait();
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  const ServiceReport& report = results[0].value();
+  EXPECT_TRUE(report.degraded);
+  EXPECT_TRUE(report.shed);
+  EXPECT_EQ(report.degraded_reason, "shed-deadline");
+  // Shed is degraded, not rejected: the serial fallback's answer is the
+  // exact one.
+  ExpectBitwiseEqual(reference->run.env.at("x"), report.run.env.at("x"),
+                     "shed-deadline");
+  EXPECT_EQ(service.stats().shed_requests, 1);
+  EXPECT_EQ(shed_metric->Value(), shed_before + 1);
+  ThreadPool::SetGlobalThreads(0);
+}
+
+TEST(Admission, UnloadedSessionRequestIsNotShed) {
+  ThreadPool::SetGlobalThreads(2);
+  PlanService service(&ServiceCatalog());
+  ServiceRequest request;
+  request.source = DfpScript("ds", 3);
+  request.config = SmallConfig();
+  request.config.scheduler = SchedulerKind::kTaskGraph;
+  request.deadline_seconds = 3600.0;
+  PlanService::Session session = service.NewSession();
+  session.Submit(request);
+  const auto results = session.Wait();
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  EXPECT_FALSE(results[0].value().shed);
+  EXPECT_FALSE(results[0].value().degraded);
+  EXPECT_EQ(service.stats().shed_requests, 0);
+  ThreadPool::SetGlobalThreads(0);
+}
+
+TEST(Admission, CoalescedWarmHitsShareOneExecution) {
+  ServiceOptions options;
+  options.coalesce_warm_hits = true;
+  PlanService service(&ServiceCatalog(), options);
+  const ServiceRequest request{DfpScript("ds", 3), SmallConfig()};
+  auto reference = service.Run(request);  // warm the key
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  Counter* coalesced_metric =
+      MetricsRegistry::Global().GetCounter("remac.service.coalesced");
+  const int64_t metric_before = coalesced_metric->Value();
+
+  // Barrier-released identical warm requests overlap with overwhelming
+  // probability; retry a few rounds so scheduler noise cannot flake the
+  // test. Every round asserts bitwise identity regardless of overlap.
+  int64_t coalesced = 0;
+  for (int attempt = 0; attempt < 20 && coalesced == 0; ++attempt) {
+    constexpr int kClients = 8;
+    std::vector<Result<ServiceReport>> results(
+        static_cast<size_t>(kClients), Status::Internal("unset"));
+    std::atomic<int> ready{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        ready.fetch_add(1);
+        while (ready.load() < kClients) std::this_thread::yield();
+        results[static_cast<size_t>(c)] = service.Run(request);
+      });
+    }
+    for (std::thread& client : clients) client.join();
+    for (const auto& result : results) {
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_TRUE(result.value().cache_hit);
+      ExpectBitwiseEqual(reference->run.env.at("x"),
+                         result.value().run.env.at("x"), "coalesced");
+    }
+    coalesced = service.stats().coalesced_requests;
+  }
+  EXPECT_GT(coalesced, 0) << "no two identical requests ever overlapped";
+  EXPECT_EQ(coalesced_metric->Value() - metric_before, coalesced);
+}
+
+TEST(Admission, StochasticPlansNeverCoalesce) {
+  ServiceOptions options;
+  options.coalesce_warm_hits = true;
+  PlanService service(&ServiceCatalog(), options);
+  // GNMF initializes with rand(): its plan is flagged non-deterministic
+  // at build time, so concurrent identical requests must each run.
+  const ServiceRequest request{GnmfScript("ds", 3, 3), SmallConfig()};
+  ASSERT_TRUE(service.Run(request).ok());
+  constexpr int kClients = 6;
+  std::atomic<int> ready{0};
+  std::atomic<int> failed{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      ready.fetch_add(1);
+      while (ready.load() < kClients) std::this_thread::yield();
+      if (!service.Run(request).ok()) failed.fetch_add(1);
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(failed.load(), 0);
+  EXPECT_EQ(service.stats().coalesced_requests, 0);
 }
 
 }  // namespace

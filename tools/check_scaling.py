@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Saturation scaling gate over BENCH_service.json.
+
+Re-applies bench_load's hardware-aware scaling rule to the recorded
+saturation curve, so check.sh fails when a benchmark record shows the
+serving tier collapsing as threads grow:
+
+  * across transitions that add EFFECTIVE parallelism
+    (min(threads, cores) increases), saturated throughput must be
+    monotone non-decreasing within a 0.90 slack factor;
+  * when the recording machine had >= 4 cores, 4-thread saturated
+    throughput must reach 1.8x the 1-thread figure;
+  * transitions past the core count are oversubscription — the OS
+    scheduler owns throughput there — and are reported, not gated.
+
+Usage: check_scaling.py BENCH_service.json
+"""
+
+import json
+import sys
+
+SLACK = 0.90
+SPEEDUP_FLOOR_4T = 1.8
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1], "r", encoding="utf-8") as fh:
+        record = json.load(fh)
+
+    saturation = record.get("saturation", [])
+    if len(saturation) < 2:
+        print(f"FAIL: saturation curve has {len(saturation)} point(s); "
+              "expected the 1/2/4/8-thread sweep", file=sys.stderr)
+        return 1
+    cores = int(record.get("cores", 1))
+
+    failures = []
+    for prev, cur in zip(saturation, saturation[1:]):
+        eff_prev = min(int(prev["threads"]), cores)
+        eff_cur = min(int(cur["threads"]), cores)
+        if eff_cur <= eff_prev:
+            print(f"  info: {prev['threads']}T -> {cur['threads']}T is "
+                  f"oversubscribed on {cores} core(s); not gated")
+            continue
+        if cur["throughput_rps"] < SLACK * prev["throughput_rps"]:
+            failures.append(
+                f"saturated throughput collapsed {prev['threads']}T "
+                f"{prev['throughput_rps']:.1f} -> {cur['threads']}T "
+                f"{cur['throughput_rps']:.1f} req/s (floor {SLACK:.2f}x)")
+
+    by_threads = {int(p["threads"]): p["throughput_rps"] for p in saturation}
+    if cores >= 4 and 1 in by_threads and 4 in by_threads:
+        speedup = by_threads[4] / by_threads[1]
+        if speedup < SPEEDUP_FLOOR_4T:
+            failures.append(
+                f"4T saturated throughput is only {speedup:.2f}x the 1T "
+                f"figure on a {cores}-core machine "
+                f"(floor {SPEEDUP_FLOOR_4T}x)")
+
+    if record.get("scaling_ok") is False:
+        failures.append("bench_load recorded scaling_ok=false")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    curve = "  ".join(f"{p['threads']}T {p['throughput_rps']:.1f}"
+                      for p in saturation)
+    print(f"scaling gate ok ({cores} core(s)): {curve} req/s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,12 @@
 //                            results bitwise-identical to a fault-free run
 //   --deadline SEC           serve mode: per-request soft deadline; late
 //                            requests degrade to the serial executor
+//   --backlog FACTOR         serve mode: admission control — shed a request
+//                            to the serial executor when either lane's
+//                            backlog exceeds FACTOR x lane size (default 8;
+//                            0 disables shedding)
+//   --coalesce               serve mode: coalesce concurrent warm hits on
+//                            the same deterministic plan into one execution
 //   --stats                  print the telemetry snapshot (metrics registry
 //                            plus the cost-model accuracy audit) at exit
 //   --metrics-out PATH       dump the metrics registry to PATH at exit
@@ -82,6 +88,7 @@ int Usage() {
                "[--print VAR] [--repeat N] [--cache-size N] "
                "[--mat-cache-mb N] [--threads N] "
                "[--chaos SEED] [--deadline SEC] "
+               "[--backlog FACTOR] [--coalesce] "
                "[--dist2d auto|off|force2d] "
                "[--stats] [--metrics-out PATH] [--trace-dir DIR]\n"
                "       remac trace TRACE.json\n"
@@ -371,6 +378,8 @@ int Main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_dir;
   double deadline_seconds = 0.0;
+  double backlog_factor = 8.0;
+  bool coalesce = false;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -471,6 +480,18 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr, "--deadline expects a positive number\n");
         return 2;
       }
+    } else if (arg == "--backlog") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      backlog_factor = std::atof(value);
+      if (backlog_factor < 0.0) {
+        std::fprintf(stderr,
+                     "--backlog expects a non-negative factor "
+                     "(0 disables backlog shedding)\n");
+        return 2;
+      }
+    } else if (arg == "--coalesce") {
+      coalesce = true;
     } else if (arg == "--dist2d") {
       const char* value = next();
       if (value == nullptr) return Usage();
@@ -526,6 +547,8 @@ int Main(int argc, char** argv) {
     ServiceOptions options;
     options.cache_capacity = cache_size;
     options.mat_cache_bytes = static_cast<int64_t>(mat_cache_mb) << 20;
+    options.admission_backlog_factor = backlog_factor;
+    options.coalesce_warm_hits = coalesce;
     PlanService service(&catalog, options);
     if (!trace_dir.empty()) {
       std::error_code ec;
@@ -627,8 +650,13 @@ int Main(int argc, char** argv) {
                 static_cast<long long>(stats.optimizer_invocations),
                 static_cast<long long>(stats.requests));
     if (stats.degraded_requests > 0) {
-      std::printf("degraded requests: %lld\n",
-                  static_cast<long long>(stats.degraded_requests));
+      std::printf("degraded requests: %lld (shed %lld)\n",
+                  static_cast<long long>(stats.degraded_requests),
+                  static_cast<long long>(stats.shed_requests));
+    }
+    if (stats.coalesced_requests > 0) {
+      std::printf("coalesced requests: %lld\n",
+                  static_cast<long long>(stats.coalesced_requests));
     }
     const double cold_mean =
         stats.cold_requests > 0 ? stats.cold_seconds / stats.cold_requests
@@ -646,12 +674,18 @@ int Main(int argc, char** argv) {
       std::printf("  (%.1fx speedup)", cold_mean / warm_mean);
     }
     std::printf("\n");
-    std::printf("pool: %d thread(s), %lld task(s), %lld steal(s), peak "
-                "queue depth %lld\n",
+    std::printf("exec lane: %d thread(s), %lld task(s), %lld steal(s), "
+                "peak queue depth %lld\n",
                 stats.pool.threads,
                 static_cast<long long>(stats.pool.tasks_executed),
                 static_cast<long long>(stats.pool.steals),
                 static_cast<long long>(stats.pool.peak_queue_depth));
+    std::printf("request lane: %d thread(s), %lld task(s), %lld steal(s), "
+                "peak queue depth %lld\n",
+                stats.request_pool.threads,
+                static_cast<long long>(stats.request_pool.tasks_executed),
+                static_cast<long long>(stats.request_pool.steals),
+                static_cast<long long>(stats.request_pool.peak_queue_depth));
 
     const ServiceReport& r = last.value();
     if (print_plan) {
