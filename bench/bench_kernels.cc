@@ -6,15 +6,19 @@
 // BENCH_kernels.json to the working directory and exits non-zero when the
 // measured speedups fall below the gate thresholds, so scripts/check.sh
 // fails on kernel performance regressions:
-//   blocked GEMM  >= --min-gemm-speedup  (default 1.5) x naive
-//   fused AtB     >= --min-fused-speedup (default 1.3) x materialized
+//   blocked GEMM  >= --min-gemm-speedup   (default 1.5) x naive
+//   fused AtB     >= --min-fused-speedup  (default 1.3) x materialized
+//   fused tape    >= --min-fusion-speedup (default 1.5) x op-at-a-time
 // The fused comparison is against the pre-PR executor path (materialize
 // the transpose, then naive multiply); the JSON also reports the tougher
-// fused-vs-(transpose + blocked GEMM) ratio for transparency.
+// fused-vs-(transpose + blocked GEMM) ratio for transparency. The fusion
+// phase (ISSUE 10) runs a 4-op dense elementwise chain through the
+// single-pass tape interpreter versus the unfused kernel sequence that
+// materializes every intermediate, verifying bitwise identity.
 //
 // This binary parses its own flags (it needs gate thresholds the shared
 // harness does not know about): --quick --json --threads=N
-// --min-gemm-speedup=X --min-fused-speedup=X.
+// --min-gemm-speedup=X --min-fused-speedup=X --min-fusion-speedup=X.
 
 #include <chrono>
 #include <cstdio>
@@ -25,6 +29,7 @@
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "matrix/fused_tape.h"
 #include "matrix/kernels.h"
 #include "obs/metrics.h"
 #include "sched/thread_pool.h"
@@ -40,6 +45,7 @@ struct Options {
   int threads = 0;  // 0 = leave the hardware default
   double min_gemm_speedup = 1.5;
   double min_fused_speedup = 1.3;
+  double min_fusion_speedup = 1.5;
 };
 
 Options ParseArgs(int argc, char** argv) {
@@ -73,13 +79,15 @@ Options ParseArgs(int argc, char** argv) {
       options.threads = static_cast<int>(value);
     } else if (double_flag("--min-gemm-speedup=", &options.min_gemm_speedup) ||
                double_flag("--min-fused-speedup=",
-                           &options.min_fused_speedup)) {
+                           &options.min_fused_speedup) ||
+               double_flag("--min-fusion-speedup=",
+                           &options.min_fusion_speedup)) {
       // handled
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s' (expected --quick, --json, "
                    "--threads=N, --min-gemm-speedup=X, "
-                   "--min-fused-speedup=X)\n",
+                   "--min-fused-speedup=X, --min-fusion-speedup=X)\n",
                    arg.c_str());
       std::exit(2);
     }
@@ -180,7 +188,46 @@ int RunBench(const Options& options) {
       mat_naive_s, mat_blocked_s, fused_s, fused_speedup,
       options.min_fused_speedup, fused_vs_blocked);
 
-  // --- 3. thread scaling (informational) --------------------------------
+  // --- 3. fused elementwise tape vs op-at-a-time ------------------------
+  // The 4-op dense chain max((a + b) * a - b, a), exactly as the fusion
+  // pass would tape it (DFS input occurrences, no dedup). The unfused
+  // baseline is the kernel sequence the executor ran pre-fusion: four
+  // passes, three materialized n^2 intermediates.
+  FusedTape tape;
+  tape.rows = n;
+  tape.cols = n;
+  tape.num_inputs = 5;
+  tape.input_scalar.assign(5, 0);
+  tape.steps = {{FusedOp::kAdd, 0, 1},
+                {FusedOp::kMul, 5, 2},
+                {FusedOp::kSub, 6, 3},
+                {FusedOp::kMax, 7, 4}};
+  const std::vector<Matrix> tape_inputs = {a, b, a, b, a};
+  auto run_fused = [&] {
+    return ExecuteFusedTape(tape, tape_inputs, {}).value().output;
+  };
+  auto run_unfused = [&] {
+    const Matrix t0 = Add(a, b).value();
+    const Matrix t1 = ElementwiseMultiply(t0, a).value();
+    const Matrix t2 = Subtract(t1, b).value();
+    return ElementwiseMax(t2, a).value();
+  };
+  const Matrix fusion_out = run_fused();  // warm-up + result capture
+  const double fusion_fused_s = BestOf(reps, [&] { run_fused(); });
+  const Matrix unfused_out = run_unfused();
+  const double fusion_unfused_s = BestOf(reps, [&] { run_unfused(); });
+  if (!BitwiseEqualDense(fusion_out, unfused_out)) {
+    std::fprintf(stderr, "FATAL: fused tape differs from unfused chain\n");
+    return 1;
+  }
+  const double fusion_speedup = fusion_unfused_s / fusion_fused_s;
+  std::printf(
+      "  fusion (4-op chain): unfused %.3fs  fused %.3fs  speedup %.2fx "
+      "(gate %.2fx)\n",
+      fusion_unfused_s, fusion_fused_s, fusion_speedup,
+      options.min_fusion_speedup);
+
+  // --- 4. thread scaling (informational) --------------------------------
   const int64_t sn = options.quick ? 512 : 1024;
   const Matrix sa = DenseRandom(sn, sn, 103);
   const Matrix sb = DenseRandom(sn, sn, 104);
@@ -207,8 +254,10 @@ int RunBench(const Options& options) {
 
   const bool gemm_ok = gemm_speedup >= options.min_gemm_speedup;
   const bool fused_ok = fused_speedup >= options.min_fused_speedup;
+  const bool fusion_ok = fusion_speedup >= options.min_fusion_speedup;
+  const bool all_ok = gemm_ok && fused_ok && fusion_ok;
 
-  // --- 4. BENCH_kernels.json --------------------------------------------
+  // --- 5. BENCH_kernels.json --------------------------------------------
   FILE* out = std::fopen("BENCH_kernels.json", "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_kernels.json\n");
@@ -223,11 +272,17 @@ int RunBench(const Options& options) {
                "%.9g, \"speedup_vs_materialized\": %.4g, "
                "\"speedup_vs_materialized_blocked\": %.4g, "
                "\"min_required\": %.4g},\n"
+               " \"fusion\": {\"chain_ops\": %d, \"unfused_seconds\": %.9g, "
+               "\"fused_seconds\": %.9g, \"speedup\": %.4g, "
+               "\"min_required\": %.4g},\n"
                " \"thread_scaling_shape\": %lld,\n \"thread_scaling\": [",
                static_cast<long long>(n), reps, naive_s, blocked_s,
                gemm_speedup, options.min_gemm_speedup, mat_naive_s,
                mat_blocked_s, fused_s, fused_speedup, fused_vs_blocked,
-               options.min_fused_speedup, static_cast<long long>(sn));
+               options.min_fused_speedup,
+               static_cast<int>(tape.steps.size()), fusion_unfused_s,
+               fusion_fused_s, fusion_speedup, options.min_fusion_speedup,
+               static_cast<long long>(sn));
   for (size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(out,
                  "%s{\"threads\": %d, \"blocked_seconds\": %.9g, "
@@ -235,8 +290,7 @@ int RunBench(const Options& options) {
                  i == 0 ? "" : ", ", rows[i].threads, rows[i].blocked_s,
                  rows[i].fused_s);
   }
-  std::fprintf(out, "],\n \"pass\": %s}\n",
-               gemm_ok && fused_ok ? "true" : "false");
+  std::fprintf(out, "],\n \"pass\": %s}\n", all_ok ? "true" : "false");
   std::fclose(out);
   std::printf("wrote BENCH_kernels.json\n");
 
@@ -244,9 +298,9 @@ int RunBench(const Options& options) {
     std::printf(
         "{\"label\": \"kernels\", \"gemm_speedup\": %.4g, "
         "\"fused_speedup\": %.4g, \"fused_vs_blocked\": %.4g, "
-        "\"pass\": %s}\n",
-        gemm_speedup, fused_speedup, fused_vs_blocked,
-        gemm_ok && fused_ok ? "true" : "false");
+        "\"fusion_speedup\": %.4g, \"pass\": %s}\n",
+        gemm_speedup, fused_speedup, fused_vs_blocked, fusion_speedup,
+        all_ok ? "true" : "false");
   }
 
   if (!gemm_ok) {
@@ -259,7 +313,12 @@ int RunBench(const Options& options) {
                  "GATE FAIL: fused AtB speedup %.2fx < required %.2fx\n",
                  fused_speedup, options.min_fused_speedup);
   }
-  return gemm_ok && fused_ok ? 0 : 1;
+  if (!fusion_ok) {
+    std::fprintf(stderr,
+                 "GATE FAIL: fusion speedup %.2fx < required %.2fx\n",
+                 fusion_speedup, options.min_fusion_speedup);
+  }
+  return all_ok ? 0 : 1;
 }
 
 }  // namespace

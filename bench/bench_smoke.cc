@@ -5,6 +5,8 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "algorithms/scripts.h"
 #include "bench/harness.h"
@@ -12,6 +14,21 @@
 
 using namespace remac;
 using namespace remac::bench;
+
+namespace {
+
+/// Exact cell-wise equality across storage formats (no tolerance).
+bool SameValues(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      if (a.At(r, c) != b.At(r, c)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   ParseBenchArgs(argc, argv);
@@ -89,6 +106,55 @@ int main(int argc, char** argv) {
                 "gram (served)", static_cast<long long>(stats.cache.hits),
                 static_cast<long long>(stats.matcache.hits),
                 static_cast<long long>(stats.matcache.resident_bytes));
+  }
+
+  // Fusion equivalence pass: every benchmark algorithm must produce
+  // exactly the same values with elementwise fusion on and off
+  // (RunConfig::fuse_elementwise) — fusion is a pure perf rewrite. Also
+  // asserts the fused runs actually avoided interior materializations,
+  // so a silently never-firing pass fails the gate too.
+  {
+    Counter* bytes_avoided =
+        MetricsRegistry::Global().GetCounter("remac.fusion.bytes_avoided");
+    const int64_t avoided_before = bytes_avoided->Value();
+    const std::vector<std::pair<std::string, std::string>> programs = {
+        {"gd", GdScript("smoke", 3)},
+        {"dfp", DfpScript("smoke", 3)},
+        {"bfgs", BfgsScript("smoke", 3)},
+        {"gnmf", GnmfScript("smoke", 8, 3)},
+        {"logistic", LogisticRegressionScript("smoke", 3)},
+        {"ridge", RidgeRegressionScript("smoke", 3)},
+    };
+    for (const auto& [name, source] : programs) {
+      RunConfig fused = config;
+      fused.executed_iterations = 1;
+      fused.max_iterations = 3;
+      RunConfig unfused = fused;
+      unfused.fuse_elementwise = false;
+      auto with = RunScript(source, SharedCatalog(), fused);
+      auto without = RunScript(source, SharedCatalog(), unfused);
+      if (!with.ok() || !without.ok()) {
+        std::printf("ERROR fusion pass (%s): %s\n", name.c_str(),
+                    (!with.ok() ? with : without).status().ToString().c_str());
+        return 1;
+      }
+      for (const auto& [var, value] : with->env) {
+        if (!SameValues(value.AsMatrix(),
+                        without->env.at(var).AsMatrix())) {
+          std::printf(
+              "ERROR fusion pass: %s variable %s differs fused vs unfused\n",
+              name.c_str(), var.c_str());
+          return 1;
+        }
+      }
+    }
+    const int64_t avoided = bytes_avoided->Value() - avoided_before;
+    if (avoided <= 0) {
+      std::printf("ERROR fusion pass: no interior bytes avoided\n");
+      return 1;
+    }
+    std::printf("%-22s programs=%zu bytes_avoided=%lld\n", "fusion (on==off)",
+                programs.size(), static_cast<long long>(avoided));
   }
   return 0;
 }

@@ -8,9 +8,9 @@
 #   ubsan       the same suites under UndefinedBehaviorSanitizer
 #   bench-smoke one quick benchmark with --json, validating the emitted
 #               metrics block against tools/metrics_manifest.txt, then the
-#               bench_kernels perf gate (blocked GEMM and fused
-#               transpose-multiply speedup floors; writes
-#               BENCH_kernels.json), then the bench_service
+#               bench_kernels perf gate (blocked GEMM, fused
+#               transpose-multiply and elementwise-fusion speedup floors;
+#               writes BENCH_kernels.json), then the bench_service
 #               intermediate-reuse gate (matcache serving >= 2x faster
 #               than per-session recompute), then the bench_load serving
 #               gate (open-loop Zipf load sweep writing
@@ -39,7 +39,7 @@ TSAN_DIR="${1:-build-tsan}"
 ASAN_DIR="${2:-build-asan}"
 BENCH_DIR="${3:-build}"
 UBSAN_DIR="${4:-build-ubsan}"
-FILTER='ThreadPool.*:LanePool.*:Ledger.*:TaskGraph.*:Sched*.*:Kernels*.*:Fingerprint*.*:PlanCache*.*:Service*.*:Admission*.*:MatCache*.*:MatrixBytes.*:Obs*.*:Chaos*.*:Fault*.*:Trace*.*:Contention*.*'
+FILTER='ThreadPool.*:LanePool.*:Ledger.*:TaskGraph.*:Sched*.*:Kernels*.*:Fingerprint*.*:PlanCache*.*:Service*.*:Admission*.*:MatCache*.*:MatrixBytes.*:Obs*.*:Chaos*.*:Fault*.*:Trace*.*:Contention*.*:Fusion*.*'
 
 GATES=()
 RESULTS=()
@@ -101,10 +101,11 @@ bench_smoke_gate() {
   "$bin" --quick --json | tee "$out" || return 1
   python3 tools/validate_metrics.py --manifest tools/metrics_manifest.txt \
     "$out" || return 1
-  # Kernel perf gate: bench_kernels exits non-zero when the blocked GEMM
-  # or fused transpose-multiply speedup falls below its floor (the
-  # manifest validation above stays on bench_smoke output, which runs the
-  # full pipeline and therefore registers every manifest metric).
+  # Kernel perf gate: bench_kernels exits non-zero when the blocked GEMM,
+  # fused transpose-multiply, or elementwise-fusion speedup falls below
+  # its floor (the manifest validation above stays on bench_smoke output,
+  # which runs the full pipeline and therefore registers every manifest
+  # metric).
   cmake --build "$BENCH_DIR" -j --target bench_kernels || return 1
   local kbin="$BENCH_DIR/bench/bench_kernels"
   if [[ ! -x "$kbin" ]]; then

@@ -140,7 +140,9 @@ Result<CostedStats> CostModel::CostTree(const PlanNode& node,
     case PlanOp::kAdd:
     case PlanOp::kSub:
     case PlanOp::kMul:
-    case PlanOp::kDiv: {
+    case PlanOp::kDiv:
+    case PlanOp::kMin:
+    case PlanOp::kMax: {
       REMAC_ASSIGN_OR_RETURN(const CostedStats a,
                              CostTree(*node.children[0], vars, resolver));
       REMAC_ASSIGN_OR_RETURN(const CostedStats b,

@@ -494,6 +494,10 @@ Result<DistValue> ExecElementwise(BinaryOpKind op, const Matrix& a,
         return ElementwiseMultiply(a, b);
       case BinaryOpKind::kElemDiv:
         return ElementwiseDivide(a, b);
+      case BinaryOpKind::kMin:
+        return ElementwiseMin(a, b);
+      case BinaryOpKind::kMax:
+        return ElementwiseMax(a, b);
     }
     return Status::Internal("unknown binary op");
   }();

@@ -141,7 +141,7 @@ Result<DistValue> ExecMultiply(const Matrix& a, bool a_distributed,
                                const ClusterModel& model,
                                TransmissionLedger* ledger);
 
-enum class BinaryOpKind { kAdd, kSub, kElemMul, kElemDiv };
+enum class BinaryOpKind { kAdd, kSub, kElemMul, kElemDiv, kMin, kMax };
 
 Result<DistValue> ExecElementwise(BinaryOpKind op, const Matrix& a,
                                   bool a_distributed, const Matrix& b,

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "matrix/fused_tape.h"
 #include "matrix/kernel_internal.h"
 #include "sched/thread_pool.h"
 
@@ -287,6 +288,20 @@ Result<Matrix> ElementwiseDivide(const Matrix& a, const Matrix& b) {
   return ElementwiseBinary(
       "elementwise divide", a, b,
       [](double x, double y) { return y == 0.0 ? 0.0 : x / y; },
+      /*zero_zero_is_zero=*/true);
+}
+
+Result<Matrix> ElementwiseMin(const Matrix& a, const Matrix& b) {
+  return ElementwiseBinary(
+      "elementwise min", a, b,
+      [](double x, double y) { return FusedApply(FusedOp::kMin, x, y); },
+      /*zero_zero_is_zero=*/true);
+}
+
+Result<Matrix> ElementwiseMax(const Matrix& a, const Matrix& b) {
+  return ElementwiseBinary(
+      "elementwise max", a, b,
+      [](double x, double y) { return FusedApply(FusedOp::kMax, x, y); },
       /*zero_zero_is_zero=*/true);
 }
 

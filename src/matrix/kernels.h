@@ -44,6 +44,13 @@ Result<Matrix> ElementwiseMultiply(const Matrix& a, const Matrix& b);
 /// the "safe divide" semantics of ML systems).
 Result<Matrix> ElementwiseDivide(const Matrix& a, const Matrix& b);
 
+/// C = min(A, B) element-wise (ties and NaNs resolve to the left operand,
+/// matching FusedApply — the shared per-cell semantics).
+Result<Matrix> ElementwiseMin(const Matrix& a, const Matrix& b);
+
+/// C = max(A, B) element-wise.
+Result<Matrix> ElementwiseMax(const Matrix& a, const Matrix& b);
+
 /// C = s * A.
 Matrix ScalarMultiply(const Matrix& a, double s);
 

@@ -7,7 +7,7 @@ namespace remac {
 
 Matrix::Matrix()
     : format_(MatrixFormat::kDense),
-      dense_(std::make_shared<const DenseMatrix>()),
+      dense_(std::make_shared<DenseMatrix>()),
       nnz_(0) {}
 
 Matrix Matrix::FromDense(DenseMatrix dense) {
@@ -32,7 +32,9 @@ Matrix Matrix::WrapDense(DenseMatrix dense) {
   Matrix m;
   m.format_ = MatrixFormat::kDense;
   m.nnz_ = dense.CountNonZeros();
-  m.dense_ = std::make_shared<const DenseMatrix>(std::move(dense));
+  // Created non-const so TryReleaseDense may legally cast constness away
+  // from a uniquely-owned payload.
+  m.dense_ = std::make_shared<DenseMatrix>(std::move(dense));
   m.csr_.reset();
   return m;
 }
@@ -109,6 +111,19 @@ double Matrix::At(int64_t r, int64_t c) const {
     if (m.col_idx()[k] > c) break;
   }
   return 0.0;
+}
+
+bool Matrix::TryReleaseDense(DenseMatrix* out) {
+  if (!is_dense() || dense_ == nullptr || dense_.use_count() != 1) {
+    return false;
+  }
+  // Safe: every dense payload is created via make_shared<DenseMatrix>
+  // (WrapDense / the default constructor), so the object itself is not
+  // const and use_count()==1 proves this Matrix is the only owner.
+  *out = std::move(*std::const_pointer_cast<DenseMatrix>(dense_));
+  dense_ = std::make_shared<DenseMatrix>();
+  nnz_ = 0;
+  return true;
 }
 
 bool Matrix::ApproxEquals(const Matrix& other, double tolerance) const {

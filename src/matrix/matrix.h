@@ -72,6 +72,15 @@ class Matrix {
   /// Element-wise comparison across formats.
   bool ApproxEquals(const Matrix& other, double tolerance = 1e-9) const;
 
+  /// Buffer reuse for dying values: when this matrix is dense and the
+  /// sole owner of its payload, moves the payload into `*out` (leaving
+  /// this matrix empty) and returns true. Callers may then compute a new
+  /// result in place of the released buffer. Returns false — and leaves
+  /// the matrix untouched — whenever the payload is shared (environment
+  /// copies, cached intermediates, concurrent task snapshots), which is
+  /// what makes stealing always safe to attempt.
+  bool TryReleaseDense(DenseMatrix* out);
+
  private:
   MatrixFormat format_ = MatrixFormat::kDense;
   std::shared_ptr<const DenseMatrix> dense_;

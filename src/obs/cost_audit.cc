@@ -9,6 +9,7 @@
 #include "common/string_util.h"
 #include "cost/physical_model.h"
 #include "distributed/distributed_ops.h"
+#include "matrix/fused_tape.h"
 
 namespace remac {
 
@@ -32,6 +33,21 @@ struct PredValue {
     return out;
   }
 };
+
+/// Maps a tape opcode back onto its PlanOp (for the estimator calls).
+PlanOp FromFusedOp(FusedOp op) {
+  switch (op) {
+    case FusedOp::kAdd: return PlanOp::kAdd;
+    case FusedOp::kSub: return PlanOp::kSub;
+    case FusedOp::kMul: return PlanOp::kMul;
+    case FusedOp::kDiv: return PlanOp::kDiv;
+    case FusedOp::kMin: return PlanOp::kMin;
+    case FusedOp::kMax: return PlanOp::kMax;
+    case FusedOp::kExp: return PlanOp::kExp;
+    case FusedOp::kLog: return PlanOp::kLog;
+  }
+  return PlanOp::kAdd;
+}
 
 NodeStats PlainStats(double rows, double cols, double sparsity) {
   NodeStats stats;
@@ -233,6 +249,8 @@ class CostWalker {
       case PlanOp::kSub:
       case PlanOp::kMul:
       case PlanOp::kDiv:
+      case PlanOp::kMin:
+      case PlanOp::kMax:
       case PlanOp::kLess:
       case PlanOp::kGreater:
       case PlanOp::kLessEq:
@@ -309,10 +327,78 @@ class CostWalker {
         REMAC_RETURN_NOT_OK(Eval(*node.children[0]).status());
         return PredValue::Scalar();
       }
+      case PlanOp::kFusedMap:
+        return EvalFusedMap(node);
       case PlanOp::kBlockRef:
         return Status::Internal("kBlockRef reached the cost audit");
     }
     return Status::Internal("unhandled op in cost audit");
+  }
+
+  /// Mirror of Executor::EvalFusedMap: replays the tape over statistics,
+  /// booking per step exactly what the standalone operator's audit site
+  /// books (CostScalarOp for unary maps and scalar broadcasts,
+  /// CostElementwise with the estimated result sparsity otherwise).
+  Result<PredValue> EvalFusedMap(const PlanNode& node) {
+    if (node.fused == nullptr) {
+      return Status::Internal("kFusedMap node without a tape");
+    }
+    const FusedTape& tape = *node.fused;
+    if (node.children.size() != static_cast<size_t>(tape.num_inputs)) {
+      return Status::Internal("fused region input arity mismatch");
+    }
+    std::vector<PredValue> slots(static_cast<size_t>(tape.num_inputs));
+    for (int32_t i = 0; i < tape.num_inputs; ++i) {
+      REMAC_ASSIGN_OR_RETURN(slots[static_cast<size_t>(i)],
+                             Eval(*node.children[i]));
+    }
+    auto scalar_slot = [&](int32_t slot) {
+      return slot >= 0 && slot < tape.num_inputs &&
+             tape.input_scalar[static_cast<size_t>(slot)] != 0;
+    };
+    PredValue step_value;
+    std::vector<PredValue> step_values(tape.steps.size());
+    for (size_t j = 0; j < tape.steps.size(); ++j) {
+      const FusedStep& step = tape.steps[j];
+      auto operand = [&](int32_t slot) -> const PredValue& {
+        return slot < tape.num_inputs
+                   ? slots[static_cast<size_t>(slot)]
+                   : step_values[static_cast<size_t>(slot -
+                                                     tape.num_inputs)];
+      };
+      const PlanOp op = FromFusedOp(step.op);
+      PredValue value;
+      if (step.rhs < 0) {
+        // Unary map: exp densifies, log keeps the sparsity pattern.
+        const PredValue& a = operand(step.lhs);
+        const OpCosting costing = CostScalarOp(InfoOf(a), model_);
+        Book(costing);
+        const double sp =
+            step.op == FusedOp::kExp ? 1.0 : a.stats.sparsity;
+        value = PredValue::FromStats(
+            PlainStats(a.stats.rows, a.stats.cols, sp),
+            costing.result_distributed);
+      } else if (scalar_slot(step.lhs) || scalar_slot(step.rhs)) {
+        const PredValue& mat =
+            scalar_slot(step.lhs) ? operand(step.rhs) : operand(step.lhs);
+        const OpCosting costing = CostScalarOp(InfoOf(mat), model_);
+        Book(costing);
+        value = PredValue::FromStats(estimator_.ScalarBroadcast(op, mat.stats),
+                                     costing.result_distributed);
+      } else {
+        const PredValue& a = operand(step.lhs);
+        const PredValue& b = operand(step.rhs);
+        NodeStats out = estimator_.Elementwise(op, a.stats, b.stats);
+        const OpCosting costing =
+            CostElementwise(InfoOf(a), InfoOf(b), out.sparsity, model_);
+        Book(costing);
+        value = PredValue::FromStats(std::move(out),
+                                     costing.result_distributed);
+      }
+      step_values[j] = ApplyTraits(std::move(value));
+      step_value = step_values[j];
+    }
+    return step_value;
   }
 
   Result<PredValue> EvalBinary(const PlanNode& node) {

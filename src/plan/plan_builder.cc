@@ -247,6 +247,16 @@ class Builder {
       }
       return Finish(MakeUnary(uit->second, std::move(child)));
     }
+    // Element-wise binary functions (scalar-broadcast like +/-/*//).
+    static const std::map<std::string, PlanOp> kBinary = {
+        {"min", PlanOp::kMin}, {"max", PlanOp::kMax}};
+    auto bit = kBinary.find(expr.name);
+    if (bit != kBinary.end()) {
+      REMAC_RETURN_NOT_OK(arity(2));
+      REMAC_ASSIGN_OR_RETURN(PlanNodePtr lhs, BuildExpr(*expr.children[0]));
+      REMAC_ASSIGN_OR_RETURN(PlanNodePtr rhs, BuildExpr(*expr.children[1]));
+      return Finish(MakeBinary(bit->second, std::move(lhs), std::move(rhs)));
+    }
     static const std::map<std::string, PlanOp> kGenerators = {
         {"eye", PlanOp::kEye},
         {"zeros", PlanOp::kZeros},

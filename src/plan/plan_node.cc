@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "matrix/fused_tape.h"
 
 namespace remac {
 
@@ -16,6 +17,8 @@ const char* PlanOpName(PlanOp op) {
     case PlanOp::kSub: return "-";
     case PlanOp::kMul: return "*";
     case PlanOp::kDiv: return "/";
+    case PlanOp::kMin: return "min";
+    case PlanOp::kMax: return "max";
     case PlanOp::kNcol: return "ncol";
     case PlanOp::kNrow: return "nrow";
     case PlanOp::kSum: return "sum";
@@ -40,6 +43,7 @@ const char* PlanOpName(PlanOp op) {
     case PlanOp::kOnes: return "ones";
     case PlanOp::kRand: return "rand";
     case PlanOp::kBlockRef: return "block";
+    case PlanOp::kFusedMap: return "fused";
   }
   return "?";
 }
@@ -56,6 +60,13 @@ std::string PlanNode::ToString() const {
       return StringFormat("B%d", static_cast<int>(value));
     case PlanOp::kTranspose:
       return "t(" + children[0]->ToString() + ")";
+    case PlanOp::kFusedMap: {
+      std::vector<std::string> args;
+      args.reserve(children.size());
+      for (const auto& child : children) args.push_back(child->ToString());
+      return "fused{" + (fused != nullptr ? fused->ToString() : "") + "}(" +
+             Join(args, ", ") + ")";
+    }
     case PlanOp::kMatMul:
     case PlanOp::kAdd:
     case PlanOp::kSub:
@@ -100,6 +111,10 @@ bool PlanNode::Equals(const PlanNode& a, const PlanNode& b) {
     return false;
   }
   if (a.op == PlanOp::kConst && a.value != b.value) return false;
+  if (a.op == PlanOp::kFusedMap) {
+    if ((a.fused == nullptr) != (b.fused == nullptr)) return false;
+    if (a.fused != nullptr && !(*a.fused == *b.fused)) return false;
+  }
   for (size_t i = 0; i < a.children.size(); ++i) {
     if (!Equals(*a.children[i], *b.children[i])) return false;
   }
@@ -115,6 +130,7 @@ PlanNodePtr PlanNode::Clone() const {
   node->loop_constant = loop_constant;
   node->symmetric = symmetric;
   node->layout = layout;
+  node->fused = fused;  // immutable, shared
   node->children.reserve(children.size());
   for (const auto& child : children) node->children.push_back(child->Clone());
   return node;
@@ -155,7 +171,7 @@ PlanNodePtr MakeBinary(PlanOp op, PlanNodePtr lhs, PlanNodePtr rhs) {
 
 bool IsElementwiseOp(PlanOp op) {
   return op == PlanOp::kAdd || op == PlanOp::kSub || op == PlanOp::kMul ||
-         op == PlanOp::kDiv;
+         op == PlanOp::kDiv || op == PlanOp::kMin || op == PlanOp::kMax;
 }
 
 bool IsComparisonOp(PlanOp op) {
@@ -217,7 +233,9 @@ Status InferShapes(PlanNode* node) {
     case PlanOp::kAdd:
     case PlanOp::kSub:
     case PlanOp::kMul:
-    case PlanOp::kDiv: {
+    case PlanOp::kDiv:
+    case PlanOp::kMin:
+    case PlanOp::kMax: {
       const Shape& l = node->children[0]->shape;
       const Shape& r = node->children[1]->shape;
       if (l.ScalarLike() && r.ScalarLike()) {
@@ -293,6 +311,13 @@ Status InferShapes(PlanNode* node) {
       REMAC_ASSIGN_OR_RETURN(const int64_t r, ConstDim(*node, 0));
       REMAC_ASSIGN_OR_RETURN(const int64_t c, ConstDim(*node, 1));
       node->shape = Shape{r, c, false};
+      return Status::OK();
+    }
+    case PlanOp::kFusedMap: {
+      if (node->fused == nullptr) {
+        return Status::Internal("kFusedMap node without a tape");
+      }
+      node->shape = Shape{node->fused->rows, node->fused->cols, false};
       return Status::OK();
     }
   }

@@ -20,6 +20,8 @@ enum class PlanOp {
   kSub,        // element-wise -
   kMul,        // element-wise * (scalar-broadcast)
   kDiv,        // element-wise / (scalar-broadcast)
+  kMin,        // element-wise min (scalar-broadcast)
+  kMax,        // element-wise max (scalar-broadcast)
   // Scalar-valued reductions / functions.
   kNcol,
   kNrow,
@@ -51,6 +53,10 @@ enum class PlanOp {
   // Internal: a reference to a decomposed block (value = block index).
   // Never produced by the plan builder; used by chain decomposition.
   kBlockRef,
+  // Internal: a fused region of elementwise ops carrying a post-order
+  // FusedTape (`fused`); children are the region inputs in slot order.
+  // Produced only by FuseElementwiseChains, after optimization.
+  kFusedMap,
 };
 
 const char* PlanOpName(PlanOp op);
@@ -79,6 +85,8 @@ const char* MultiplyLayoutName(MultiplyLayout layout);
 struct PlanNode;
 using PlanNodePtr = std::shared_ptr<PlanNode>;
 
+struct FusedTape;  // matrix/fused_tape.h
+
 /// \brief A node of the logical plan tree.
 ///
 /// Plans are trees (not DAGs): sharing is introduced later, by the
@@ -98,6 +106,9 @@ struct PlanNode {
   bool symmetric = false;
   /// Chosen physical layout for kMatMul nodes (see MultiplyLayout).
   MultiplyLayout layout = MultiplyLayout::kUnset;
+  /// kFusedMap only: the post-order elementwise tape (immutable, shared
+  /// by Clone).
+  std::shared_ptr<const FusedTape> fused;
 
   /// Structural one-line rendering, e.g., "(H %*% t(A))".
   std::string ToString() const;
@@ -116,7 +127,7 @@ PlanNodePtr MakeConst(double value);
 PlanNodePtr MakeUnary(PlanOp op, PlanNodePtr child);
 PlanNodePtr MakeBinary(PlanOp op, PlanNodePtr lhs, PlanNodePtr rhs);
 
-/// True for +, -, *, / (element-wise family).
+/// True for +, -, *, /, min, max (element-wise binary family).
 bool IsElementwiseOp(PlanOp op);
 /// True for the comparison family.
 bool IsComparisonOp(PlanOp op);

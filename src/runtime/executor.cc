@@ -5,6 +5,7 @@
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "cost/physical_model.h"
+#include "matrix/fused_tape.h"
 #include "matrix/kernels.h"
 #include "obs/span.h"
 
@@ -25,11 +26,29 @@ struct ExecMetrics {
       "remac.executor.elementwise_seconds");
   Histogram* transpose_seconds = MetricsRegistry::Global().GetHistogram(
       "remac.executor.transpose_seconds");
+  /// Bytes of fused-region intermediates that were never materialized
+  /// (one MatrixBytes-worth per interior tape step).
+  Counter* fusion_bytes_avoided =
+      MetricsRegistry::Global().GetCounter("remac.fusion.bytes_avoided");
+  /// Fused regions whose output was computed in place inside a dying
+  /// input's dense buffer.
+  Counter* fusion_in_place =
+      MetricsRegistry::Global().GetCounter("remac.fusion.in_place_hits");
 };
 
 ExecMetrics& Metrics() {
   static ExecMetrics metrics;
   return metrics;
+}
+
+/// Number of kInput references to `name` in the tree.
+int64_t CountInputRefs(const PlanNode& node, const std::string& name) {
+  int64_t count =
+      node.op == PlanOp::kInput && node.name == name ? 1 : 0;
+  for (const auto& child : node.children) {
+    count += CountInputRefs(*child, name);
+  }
+  return count;
 }
 
 }  // namespace
@@ -85,8 +104,17 @@ Status Executor::Run(const std::vector<CompiledStmt>& statements,
   for (const auto& stmt : statements) {
     if (stmt.kind == CompiledStmt::Kind::kAssign) {
       StageSpan span(Metrics().statement_seconds, nullptr, "statement");
-      REMAC_ASSIGN_OR_RETURN(RtValue value, Eval(*stmt.plan));
-      Set(stmt.target, std::move(value));
+      // Last-use buffer handoff: when the assignment target's previous
+      // value is read exactly once by the new plan (X = X + ... style
+      // updates), move it out of the environment so a fused region can
+      // steal its dense buffer and run in place. Safe only here — a
+      // barrier-commit body must keep start-of-iteration values readable
+      // until the joint commit, and the task-graph path never calls Run.
+      ArmBufferSteal(stmt);
+      auto value = Eval(*stmt.plan);
+      steal_.reset();  // unconsumed when a cache hit covered the input
+      if (!value.ok()) return value.status();
+      Set(stmt.target, std::move(value).value());
       continue;
     }
     // Loop.
@@ -129,6 +157,15 @@ Status Executor::Run(const std::vector<CompiledStmt>& statements,
     }
   }
   return Status::OK();
+}
+
+void Executor::ArmBufferSteal(const CompiledStmt& stmt) {
+  steal_.reset();
+  auto it = env_.find(stmt.target);
+  if (it == env_.end() || it->second.is_scalar) return;
+  if (CountInputRefs(*stmt.plan, stmt.target) != 1) return;
+  steal_.emplace(stmt.target, std::move(it->second));
+  it->second = RtValue{};  // benign placeholder until the re-assignment
 }
 
 Result<RtValue> Executor::ReadDataset(const std::string& name) {
@@ -201,6 +238,10 @@ Result<RtValue> Executor::EvalBinary(const PlanNode& node) {
       case PlanOp::kSub: return RtValue::Scalar(a - b);
       case PlanOp::kMul: return RtValue::Scalar(a * b);
       case PlanOp::kDiv: return RtValue::Scalar(b == 0.0 ? 0.0 : a / b);
+      case PlanOp::kMin:
+        return RtValue::Scalar(FusedApply(FusedOp::kMin, a, b));
+      case PlanOp::kMax:
+        return RtValue::Scalar(FusedApply(FusedOp::kMax, a, b));
       case PlanOp::kLess: return RtValue::Scalar(a < b ? 1.0 : 0.0);
       case PlanOp::kGreater: return RtValue::Scalar(a > b ? 1.0 : 0.0);
       case PlanOp::kLessEq: return RtValue::Scalar(a <= b ? 1.0 : 0.0);
@@ -245,15 +286,22 @@ Result<RtValue> Executor::EvalBinary(const PlanNode& node) {
         return RtValue::FromMatrix(std::move(out.value), out.distributed);
       }
       case PlanOp::kAdd:
-      case PlanOp::kSub: {
+      case PlanOp::kSub:
+      case PlanOp::kMin:
+      case PlanOp::kMax: {
         DenseMatrix d = mat.matrix.ToDense();
         for (int64_t i = 0; i < d.size(); ++i) {
           if (node.op == PlanOp::kAdd) {
             d.data()[i] += s;
-          } else if (l_scalar) {
-            d.data()[i] = s - d.data()[i];  // scalar - matrix
+          } else if (node.op == PlanOp::kSub) {
+            d.data()[i] = l_scalar ? s - d.data()[i] : d.data()[i] - s;
           } else {
-            d.data()[i] -= s;  // matrix - scalar
+            // min/max broadcast; operand order preserved (ties and NaNs
+            // resolve to the left operand, see FusedApply).
+            const FusedOp fop =
+                node.op == PlanOp::kMin ? FusedOp::kMin : FusedOp::kMax;
+            d.data()[i] = l_scalar ? FusedApply(fop, s, d.data()[i])
+                                   : FusedApply(fop, d.data()[i], s);
           }
         }
         const OpCosting costing =
@@ -294,6 +342,8 @@ Result<RtValue> Executor::EvalBinary(const PlanNode& node) {
     case PlanOp::kSub: kind = BinaryOpKind::kSub; break;
     case PlanOp::kMul: kind = BinaryOpKind::kElemMul; break;
     case PlanOp::kDiv: kind = BinaryOpKind::kElemDiv; break;
+    case PlanOp::kMin: kind = BinaryOpKind::kMin; break;
+    case PlanOp::kMax: kind = BinaryOpKind::kMax; break;
     default:
       return Status::Internal("bad elementwise op");
   }
@@ -330,6 +380,11 @@ Result<RtValue> Executor::Eval(const PlanNode& node) {
 Result<RtValue> Executor::EvalImpl(const PlanNode& node) {
   switch (node.op) {
     case PlanOp::kInput:
+      if (steal_.has_value() && steal_->first == node.name) {
+        RtValue stolen = std::move(steal_->second);
+        steal_.reset();
+        return stolen;
+      }
       return Get(node.name);
     case PlanOp::kConst:
       return RtValue::Scalar(node.value);
@@ -381,6 +436,8 @@ Result<RtValue> Executor::EvalImpl(const PlanNode& node) {
     case PlanOp::kSub:
     case PlanOp::kMul:
     case PlanOp::kDiv:
+    case PlanOp::kMin:
+    case PlanOp::kMax:
     case PlanOp::kLess:
     case PlanOp::kGreater:
     case PlanOp::kLessEq:
@@ -431,9 +488,13 @@ Result<RtValue> Executor::EvalImpl(const PlanNode& node) {
         return RtValue::FromMatrix(Matrix::FromDense(std::move(d)),
                                    costing.result_distributed);
       }
-      // Safe log: applied to the stored non-zeros only.
+      // Safe log: zero cells stay zero (stored explicit zeros included, so
+      // the result is bitwise-identical to the fused tape's cell-wise
+      // FusedApply(kLog) regardless of how zeros are represented).
       CsrMatrix csr = child.matrix.ToCsr();
-      for (auto& v : csr.mutable_values()) v = std::log(v);
+      for (auto& v : csr.mutable_values()) {
+        v = FusedApply(FusedOp::kLog, v, 0.0);
+      }
       const OpCosting costing =
           CostScalarOp(InfoOf(child.matrix, child.distributed), model_);
       costing.Book(ledger_);
@@ -516,10 +577,102 @@ Result<RtValue> Executor::EvalImpl(const PlanNode& node) {
       return RtValue::Scalar(static_cast<double>(
           node.op == PlanOp::kNcol ? m.cols() : m.rows()));
     }
+    case PlanOp::kFusedMap:
+      return EvalFusedMap(node);
     case PlanOp::kBlockRef:
       return Status::Internal("kBlockRef reached the executor");
   }
   return Status::Internal("unhandled op in Eval");
+}
+
+Result<RtValue> Executor::EvalFusedMap(const PlanNode& node) {
+  if (node.fused == nullptr) {
+    return Status::Internal("kFusedMap node without a tape");
+  }
+  const FusedTape& tape = *node.fused;
+  if (node.children.size() != static_cast<size_t>(tape.num_inputs)) {
+    return Status::Internal("fused region input arity mismatch");
+  }
+  // Evaluate the region inputs in slot order, capturing per-slot placement
+  // info before the matrices move into the kernel.
+  std::vector<Matrix> matrices;
+  std::vector<double> scalars;
+  std::vector<MatInfo> slot_info(static_cast<size_t>(tape.num_inputs));
+  for (int32_t i = 0; i < tape.num_inputs; ++i) {
+    REMAC_ASSIGN_OR_RETURN(RtValue v, Eval(*node.children[i]));
+    if (tape.input_scalar[static_cast<size_t>(i)] != 0) {
+      REMAC_ASSIGN_OR_RETURN(const double s, v.AsScalar());
+      scalars.push_back(s);
+    } else {
+      if (v.is_scalar) {
+        return Status::Internal("scalar value in a matrix slot of " +
+                                node.ToString());
+      }
+      slot_info[static_cast<size_t>(i)] = InfoOf(v.matrix, v.distributed);
+      matrices.push_back(std::move(v.matrix));
+    }
+  }
+  StageSpan span(Metrics().elementwise_seconds, nullptr, "fused");
+  REMAC_ASSIGN_OR_RETURN(
+      FusedExecResult exec,
+      ExecuteFusedTape(tape, std::move(matrices), scalars));
+  // Per-step cost booking mirrors the unfused operator sequence: every
+  // tape step books exactly what the standalone operator would have
+  // booked (scalar broadcasts and unary maps as CostScalarOp over the
+  // matrix side; matrix-matrix steps as CostElementwise with the step's
+  // exact result sparsity), so the cost audit still reconciles.
+  const double cells =
+      static_cast<double>(tape.rows) * static_cast<double>(tape.cols);
+  std::vector<MatInfo> step_info(tape.steps.size());
+  double bytes_avoided = 0.0;
+  bool result_distributed = false;
+  for (size_t j = 0; j < tape.steps.size(); ++j) {
+    const FusedStep& step = tape.steps[j];
+    const double sp =
+        cells > 0.0 ? static_cast<double>(exec.step_nnz[j]) / cells : 0.0;
+    auto operand_scalar = [&](int32_t slot) {
+      return slot >= 0 && slot < tape.num_inputs &&
+             tape.input_scalar[static_cast<size_t>(slot)] != 0;
+    };
+    auto operand_info = [&](int32_t slot) -> const MatInfo& {
+      return slot < tape.num_inputs
+                 ? slot_info[static_cast<size_t>(slot)]
+                 : step_info[static_cast<size_t>(slot - tape.num_inputs)];
+    };
+    OpCosting costing;
+    if (step.rhs < 0 || operand_scalar(step.lhs) ||
+        operand_scalar(step.rhs)) {
+      const int32_t mat_slot =
+          (step.rhs >= 0 && operand_scalar(step.lhs)) ? step.rhs : step.lhs;
+      if (operand_scalar(mat_slot)) {
+        return Status::Internal("fused step with no matrix operand");
+      }
+      costing = CostScalarOp(operand_info(mat_slot), model_);
+    } else {
+      costing = CostElementwise(operand_info(step.lhs),
+                                operand_info(step.rhs), sp, model_);
+    }
+    costing.Book(ledger_);
+    ++ops_executed_;
+    Metrics().ops->Add();
+    MatInfo info;
+    info.rows = static_cast<double>(tape.rows);
+    info.cols = static_cast<double>(tape.cols);
+    info.sparsity = sp;
+    info.distributed = costing.result_distributed;
+    // Mirror ApplyTraits: unfused intermediates pass through it one by
+    // one, so placement-forcing personalities must see the same flow.
+    if (traits_.force_distributed && cells > 1.0) info.distributed = true;
+    step_info[j] = info;
+    if (j + 1 < tape.steps.size()) {
+      bytes_avoided += MatrixBytes(info.rows, info.cols, info.sparsity);
+    }
+    result_distributed = info.distributed;
+  }
+  Metrics().fusion_bytes_avoided->Add(
+      static_cast<int64_t>(bytes_avoided));
+  if (exec.in_place) Metrics().fusion_in_place->Add();
+  return RtValue::FromMatrix(std::move(exec.output), result_distributed);
 }
 
 }  // namespace remac

@@ -3,8 +3,10 @@
 
 #include <map>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster_model.h"
@@ -145,8 +147,15 @@ class Executor {
   /// dense storage and distributed placement).
   RtValue ApplyTraits(RtValue value) const;
   Result<RtValue> EvalBinary(const PlanNode& node);
+  /// Evaluates a kFusedMap region: single-pass tape kernel plus per-step
+  /// cost booking identical to the unfused operator sequence.
+  Result<RtValue> EvalFusedMap(const PlanNode& node);
   Result<RtValue> EvalGenerator(const PlanNode& node);
   Result<RtValue> ReadDataset(const std::string& name);
+  /// If `stmt` re-assigns a matrix variable its plan reads exactly once,
+  /// moves the old value into `steal_` so the single kInput reference can
+  /// consume it (last use) and fused kernels may reuse its buffer.
+  void ArmBufferSteal(const CompiledStmt& stmt);
 
   ClusterModel model_;
   const DataCatalog* catalog_;
@@ -159,6 +168,9 @@ class Executor {
   bool count_input_partition_ = false;
   int64_t ops_executed_ = 0;
   uint64_t rand_counter_ = 0;
+  /// Armed by Run() for last-use re-assignments; consumed by the kInput
+  /// case of EvalImpl (see ArmBufferSteal).
+  std::optional<std::pair<std::string, RtValue>> steal_;
 };
 
 }  // namespace remac

@@ -8,6 +8,7 @@
 #include "baselines/systemds_optimizer.h"
 #include "cost/cost_model.h"
 #include "obs/metrics.h"
+#include "plan/fusion.h"
 #include "obs/span.h"
 #include "sparsity/estimator.h"
 
@@ -166,6 +167,13 @@ Result<CompiledProgram> OptimizeCompiled(const CompiledProgram& program,
   // reporting. Advisory: a failed annotation leaves nodes at kUnset.
   const CostModel layout_model(config.cluster, estimator.get(), &catalog);
   (void)AnnotateMultiplyLayouts(&final_program, catalog, layout_model);
+  // Last pass: collapse same-shape elementwise chains into single-pass
+  // fused regions. Runs after all plan-shape decisions (sharing decisions
+  // are statement boundaries by now, so fusion never absorbs a
+  // multi-consumer intermediate).
+  if (config.fuse_elementwise) {
+    FuseElementwiseChains(&final_program, nullptr);
+  }
   return final_program;
 }
 

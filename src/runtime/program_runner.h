@@ -98,6 +98,11 @@ struct RunConfig {
   /// builds without the hook. Must be thread-safe under kTaskGraph and
   /// outlive ExecuteCompiled.
   IntermediateStore* intermediates = nullptr;
+  /// Rewrite same-shape elementwise chains into single-pass fused-map
+  /// regions after optimization (see plan/fusion.h). Results are
+  /// bitwise-identical with the flag off; off exists for A/B comparison
+  /// and the equivalence gates.
+  bool fuse_elementwise = true;
 };
 
 struct RunReport {

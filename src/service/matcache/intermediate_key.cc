@@ -16,11 +16,13 @@ namespace remac {
 
 namespace {
 
-/// True when every leaf under `node` is a catalog read and every interior
-/// node is a multiply or transpose — the subtree's value depends on
-/// nothing but registered datasets. Generators stay out: rand() depends
-/// on the deterministic stream position, and eye/ones/zeros chains are
-/// cheaper to rebuild than to cache.
+/// True when every leaf under `node` is a catalog read (or a constant)
+/// and every interior node is a multiply, transpose, or fused elementwise
+/// region — the subtree's value depends on nothing but registered
+/// datasets. Generators stay out: rand() depends on the deterministic
+/// stream position, and eye/ones/zeros chains are cheaper to rebuild than
+/// to cache. A bare constant is not itself pure (nothing to cache); it
+/// only keeps a fused region pure as a scalar-broadcast operand.
 bool IsPureReadSubtree(const PlanNode& node) {
   switch (node.op) {
     case PlanOp::kReadData:
@@ -30,6 +32,13 @@ bool IsPureReadSubtree(const PlanNode& node) {
     case PlanOp::kMatMul:
       return IsPureReadSubtree(*node.children[0]) &&
              IsPureReadSubtree(*node.children[1]);
+    case PlanOp::kFusedMap:
+      for (const PlanNodePtr& child : node.children) {
+        if (child->op != PlanOp::kConst && !IsPureReadSubtree(*child)) {
+          return false;
+        }
+      }
+      return true;
     default:
       return false;
   }
@@ -49,7 +58,9 @@ void CollectRoots(const PlanNodePtr& node, std::vector<PlanNodePtr>* roots) {
   if (IsPureReadSubtree(*node)) {
     PlanNodePtr root = node;
     while (root->op == PlanOp::kTranspose) root = root->children[0];
-    if (root->op == PlanOp::kMatMul) roots->push_back(root);
+    if (root->op == PlanOp::kMatMul || root->op == PlanOp::kFusedMap) {
+      roots->push_back(root);
+    }
     return;  // children are part of the captured subtree
   }
   for (const PlanNodePtr& child : node->children) {
@@ -75,6 +86,12 @@ void CollectFromStatements(const std::vector<CompiledStmt>& statements,
 /// back to the normalized rendering, which is still canonical across
 /// transpose placements.
 std::string CanonicalWindowKey(const PlanNodePtr& node) {
+  if (node->op == PlanOp::kFusedMap) {
+    // A fused region's rendering embeds the canonical tape string
+    // ("M,S|t0=sub(i0,i1);...") plus the input renderings — already a
+    // stable cross-process key; the chain normalizer does not apply.
+    return node->ToString();
+  }
   PlanNodePtr normalized = NormalizeForSearch(node->Clone());
   Result<Decomposition> decomposed = DecomposeIntoBlocks(normalized);
   if (decomposed.ok() && decomposed.value().blocks.size() == 1) {

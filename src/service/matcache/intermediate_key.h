@@ -13,16 +13,17 @@ namespace remac {
 
 /// \brief A cacheable sub-plan of an optimized program.
 ///
-/// Candidates are the maximal pure-read multiplication subtrees: every
-/// leaf is a read("...") of a catalog dataset and every interior node is
-/// a matrix multiply or transpose. Such a subtree's value is a pure
-/// function of the referenced datasets, so it can be shared across
+/// Candidates are the maximal pure-read subtrees: every leaf is a
+/// read("...") of a catalog dataset (or a constant inside a fused
+/// region) and every interior node is a matrix multiply, transpose, or
+/// fused elementwise region (kFusedMap). Such a subtree's value is a
+/// pure function of the referenced datasets, so it can be shared across
 /// requests — and across *programs* — that compute the same chain over
 /// the same data (the cross-request analogue of the paper's common
-/// subexpression elimination). The candidate root is always a kMatMul
-/// node: the executor fuses t() children into the parent multiply and
-/// never evaluates the fused transpose node itself, so a transpose root
-/// would never be observed at runtime.
+/// subexpression elimination). The candidate root is always a kMatMul or
+/// kFusedMap node: the executor fuses t() children into the parent
+/// multiply and never evaluates the fused transpose node itself, so a
+/// transpose root would never be observed at runtime.
 struct SubplanCandidate {
   /// The candidate root inside the (shared, immutable) plan tree. The
   /// runtime store matches executor callbacks against this pointer.

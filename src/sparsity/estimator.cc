@@ -28,8 +28,9 @@ NodeStats SparsityEstimator::GeneratorStats(PlanOp op, int64_t rows,
 NodeStats SparsityEstimator::ScalarBroadcast(PlanOp op,
                                              const NodeStats& matrix) const {
   NodeStats s = matrix;
-  if (op == PlanOp::kAdd || op == PlanOp::kSub) {
-    // Adding a (generally non-zero) scalar densifies.
+  if (op == PlanOp::kAdd || op == PlanOp::kSub || op == PlanOp::kMin ||
+      op == PlanOp::kMax) {
+    // Adding (or min/max against) a generally non-zero scalar densifies.
     s.sparsity = 1.0;
     s.sketch.reset();
     s.pattern.reset();

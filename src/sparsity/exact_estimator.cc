@@ -72,6 +72,9 @@ NodeStats ExactEstimator::Elementwise(PlanOp op, const NodeStats& a,
       switch (op) {
         case PlanOp::kAdd:
         case PlanOp::kSub:
+        case PlanOp::kMin:
+        case PlanOp::kMax:
+          // Union of the patterns bounds the min/max result.
           return Add(*a.pattern, *b.pattern);
         case PlanOp::kMul:
           return ElementwiseMultiply(*a.pattern, *b.pattern);

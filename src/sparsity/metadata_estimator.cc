@@ -47,7 +47,10 @@ NodeStats MetadataEstimator::Elementwise(PlanOp op, const NodeStats& a,
   switch (op) {
     case PlanOp::kAdd:
     case PlanOp::kSub:
-      // Union under independence.
+    case PlanOp::kMin:
+    case PlanOp::kMax:
+      // Union under independence (min/max can surface either operand's
+      // non-zeros, so the union is the conservative pattern).
       s.sparsity = a.sparsity + b.sparsity - a.sparsity * b.sparsity;
       break;
     case PlanOp::kMul:

@@ -55,6 +55,9 @@ NodeStats MncEstimator::Elementwise(PlanOp op, const NodeStats& a,
   switch (op) {
     case PlanOp::kAdd:
     case PlanOp::kSub:
+    case PlanOp::kMin:
+    case PlanOp::kMax:
+      // min/max patterns are bounded by the union, like add.
       return FromSketch(SketchAdd(*SketchOf(a), *SketchOf(b)));
     case PlanOp::kMul:
       return FromSketch(SketchElemMul(*SketchOf(a), *SketchOf(b)));

@@ -43,6 +43,8 @@
 //                            0 disables shedding)
 //   --coalesce               serve mode: coalesce concurrent warm hits on
 //                            the same deterministic plan into one execution
+//   --no-fuse                disable elementwise-chain fusion (results are
+//                            bitwise-identical either way; for A/B timing)
 //   --stats                  print the telemetry snapshot (metrics registry
 //                            plus the cost-model accuracy audit) at exit
 //   --metrics-out PATH       dump the metrics registry to PATH at exit
@@ -89,7 +91,7 @@ int Usage() {
                "[--mat-cache-mb N] [--threads N] "
                "[--chaos SEED] [--deadline SEC] "
                "[--backlog FACTOR] [--coalesce] "
-               "[--dist2d auto|off|force2d] "
+               "[--dist2d auto|off|force2d] [--no-fuse] "
                "[--stats] [--metrics-out PATH] [--trace-dir DIR]\n"
                "       remac trace TRACE.json\n"
                "       remac datasets\n"
@@ -307,6 +309,19 @@ int EmitTelemetry(bool show_stats, const std::string& metrics_out,
       std::printf("--- multiply layouts ---\n");
       PrintMultiplyLayouts(program->statements);
     }
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    std::printf("--- fusion ---\n");
+    std::printf(
+        "  regions formed     %lld\n  ops fused          %lld\n"
+        "  bytes avoided      %lld\n  in-place regions   %lld\n",
+        static_cast<long long>(
+            registry.GetCounter("remac.fusion.regions")->Value()),
+        static_cast<long long>(
+            registry.GetCounter("remac.fusion.ops_fused")->Value()),
+        static_cast<long long>(
+            registry.GetCounter("remac.fusion.bytes_avoided")->Value()),
+        static_cast<long long>(
+            registry.GetCounter("remac.fusion.in_place_hits")->Value()));
     std::printf("--- telemetry ---\n");
     if (audit != nullptr) std::printf("%s", audit->ToString().c_str());
     std::printf("%s\n", MetricsRegistry::Global().ToJson().c_str());
@@ -502,6 +517,8 @@ int Main(int argc, char** argv) {
         return 2;
       }
       config.cluster.dist2d = mode.value();
+    } else if (arg == "--no-fuse") {
+      config.fuse_elementwise = false;
     } else if (arg == "--stats") {
       show_stats = true;
     } else if (arg == "--metrics-out") {
